@@ -1,0 +1,158 @@
+// Package graphtensor's repository-level benchmarks: one testing.B per
+// table and figure of the paper's evaluation. Each benchmark regenerates
+// its experiment at quick scale so `go test -bench` stays tractable; the
+// full rows/series are produced by `cmd/gtbench -exp <id>`.
+//
+// Run all:
+//
+//	go test -bench=. -benchmem ./...
+package graphtensor
+
+import (
+	"testing"
+
+	"graphtensor/internal/datasets"
+	"graphtensor/internal/experiments"
+	"graphtensor/internal/frameworks"
+	"graphtensor/internal/gpusim"
+	"graphtensor/internal/graph"
+	"graphtensor/internal/kernels"
+	"graphtensor/internal/sampling"
+	"graphtensor/internal/tensor"
+)
+
+func benchConfig() experiments.Config {
+	c := experiments.DefaultConfig()
+	c.Quick = true
+	c.Batches = 1
+	return c
+}
+
+// runExp benchmarks one experiment's regeneration.
+func runExp(b *testing.B, id string) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Datasets(b *testing.B)       { runExp(b, "table2") }
+func BenchmarkTable3Comparison(b *testing.B)     { runExp(b, "table3") }
+func BenchmarkTable1CostModelFit(b *testing.B)   { runExp(b, "table1") }
+func BenchmarkFig6aMemoryBloat(b *testing.B)     { runExp(b, "fig6a") }
+func BenchmarkFig6bCacheBloat(b *testing.B)      { runExp(b, "fig6b") }
+func BenchmarkFig8DegreeStats(b *testing.B)      { runExp(b, "fig8") }
+func BenchmarkFig11bReduction(b *testing.B)      { runExp(b, "fig11b") }
+func BenchmarkFig12aBreakdown(b *testing.B)      { runExp(b, "fig12a") }
+func BenchmarkFig12bResources(b *testing.B)      { runExp(b, "fig12b") }
+func BenchmarkFig14Contention(b *testing.B)      { runExp(b, "fig14") }
+func BenchmarkFig15Training(b *testing.B)        { runExp(b, "fig15") }
+func BenchmarkFig16KernelBreakdown(b *testing.B) { runExp(b, "fig16") }
+func BenchmarkFig17NAPAResources(b *testing.B)   { runExp(b, "fig17") }
+func BenchmarkFig18DKPImpact(b *testing.B)       { runExp(b, "fig18") }
+func BenchmarkFig19EndToEnd(b *testing.B)        { runExp(b, "fig19") }
+func BenchmarkFig20Timeline(b *testing.B)        { runExp(b, "fig20") }
+
+// --- Micro-benchmarks of the hot paths, for profiling the substrate ---
+
+// benchBipartite builds a sampled-subgraph-shaped BCSR for kernel benches.
+func benchBipartite(nDst, nSrc, fanout, dim int) (*kernels.Graphs, *tensor.Matrix) {
+	rng := tensor.NewRNG(1)
+	coo := &graph.BCOO{NumDst: nDst, NumSrc: nSrc}
+	for d := 0; d < nDst; d++ {
+		coo.Src = append(coo.Src, graph.VID(d))
+		coo.Dst = append(coo.Dst, graph.VID(d))
+		for i := 0; i < fanout; i++ {
+			coo.Src = append(coo.Src, graph.VID(rng.Intn(nSrc)))
+			coo.Dst = append(coo.Dst, graph.VID(d))
+		}
+	}
+	csr, _ := graph.BCOOToBCSR(coo)
+	return &kernels.Graphs{CSR: csr, CSC: graph.BCSRToBCSC(csr)}, tensor.Random(nSrc, dim, 1, rng)
+}
+
+func benchStrategyForward(b *testing.B, s kernels.Strategy, modes kernels.Modes) {
+	g, x := benchBipartite(500, 900, 6, 64)
+	dev := gpusim.NewDevice(gpusim.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := kernels.NewCtx(dev)
+		gg := &kernels.Graphs{CSR: g.CSR, CSC: g.CSC}
+		xd, _ := kernels.WrapDeviceMatrix(dev, x.Clone(), "x")
+		out, err := s.Forward(ctx, gg, xd, modes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out.Free()
+		xd.Free()
+	}
+}
+
+func BenchmarkNAPAForwardGCN(b *testing.B) {
+	benchStrategyForward(b, kernels.NAPA{}, kernels.GCNModes())
+}
+func BenchmarkNAPAForwardNGCF(b *testing.B) {
+	benchStrategyForward(b, kernels.NAPA{}, kernels.NGCFModes())
+}
+func BenchmarkGraphApproachForwardNGCF(b *testing.B) {
+	benchStrategyForward(b, kernels.GraphApproach{}, kernels.NGCFModes())
+}
+func BenchmarkDLApproachForwardNGCF(b *testing.B) {
+	benchStrategyForward(b, kernels.DLApproach{}, kernels.NGCFModes())
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	x := tensor.Random(512, 128, 1, rng)
+	w := tensor.Random(128, 64, 1, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMul(x, w)
+	}
+}
+
+func BenchmarkCOOToCSR(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	n, e := 5000, 30000
+	coo := &graph.COO{NumVertices: n, Src: make([]graph.VID, e), Dst: make([]graph.VID, e)}
+	for i := 0; i < e; i++ {
+		coo.Src[i] = graph.VID(rng.Intn(n))
+		coo.Dst[i] = graph.VID(rng.Intn(n))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = graph.COOToCSR(coo)
+	}
+}
+
+func BenchmarkNeighborSampling(b *testing.B) {
+	ds, _ := datasets.Generate("products", datasets.DefaultScale())
+	cfg := sampling.DefaultConfig()
+	sampler := sampling.New(ds.Graph, cfg)
+	batch := ds.BatchDsts(300, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sampler.Sample(batch)
+	}
+}
+
+func BenchmarkTrainBatchPreproGT(b *testing.B) {
+	ds, _ := datasets.Generate("products", datasets.DefaultScale())
+	opt := frameworks.DefaultOptions()
+	tr, _ := frameworks.New(frameworks.PreproGT, ds, opt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.TrainBatch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package cache
+
+import (
+	"testing"
+
+	"graphtensor/internal/graph"
+)
+
+func star(hubs, leaves int) *graph.CSR {
+	// hubs each receive edges from many leaves -> high in-degree hubs.
+	coo := &graph.COO{NumVertices: hubs + leaves}
+	for l := 0; l < leaves; l++ {
+		for h := 0; h < hubs; h++ {
+			coo.Src = append(coo.Src, graph.VID(hubs+l))
+			coo.Dst = append(coo.Dst, graph.VID(h))
+		}
+	}
+	csr, _ := graph.COOToCSR(coo)
+	return csr
+}
+
+func TestDegreePolicyPreloadsHubs(t *testing.T) {
+	full := star(3, 50) // vertices 0,1,2 are hubs
+	c := New(3, Degree, full)
+	for h := graph.VID(0); h < 3; h++ {
+		if !c.Resident(h) {
+			t.Errorf("hub %d should be cached", h)
+		}
+	}
+	if c.Resident(10) {
+		t.Error("leaf should not be cached")
+	}
+}
+
+func TestPartitionCountsHitsAndMisses(t *testing.T) {
+	full := star(2, 20)
+	c := New(2, Degree, full)
+	hits, misses := c.Partition([]graph.VID{0, 1, 5, 6, 7})
+	if len(hits) != 2 {
+		t.Errorf("got %d hits, want 2", len(hits))
+	}
+	if len(misses) != 3 {
+		t.Errorf("got %d misses, want 3", len(misses))
+	}
+	if hr := c.HitRate(); hr != 0.4 {
+		t.Errorf("hit rate %g want 0.4", hr)
+	}
+}
+
+func TestLFULearnsHotVertices(t *testing.T) {
+	c := New(2, LFU, nil)
+	// Request vertex 5 repeatedly; it should become resident.
+	for i := 0; i < 10; i++ {
+		c.Partition([]graph.VID{5, 5, 7})
+	}
+	if !c.Resident(5) {
+		t.Error("frequently requested vertex 5 not cached")
+	}
+	c.Reset()
+	if hr := c.HitRate(); hr != 0 {
+		t.Errorf("hit rate %g after reset", hr)
+	}
+}
+
+func TestHitRateImprovesWithLocality(t *testing.T) {
+	full := star(5, 100)
+	c := New(5, Degree, full)
+	// A workload that always samples the hubs should hit often.
+	for i := 0; i < 20; i++ {
+		c.Partition([]graph.VID{0, 1, 2, 3, 4, graph.VID(5 + i)})
+	}
+	if c.HitRate() < 0.8 {
+		t.Errorf("hit rate %g too low for hub-heavy workload", c.HitRate())
+	}
+}

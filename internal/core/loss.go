@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+
+	"graphtensor/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean negative log-likelihood of labels
+// under softmax(logits) and the gradient with respect to the logits
+// ((softmax − onehot)/n). Rows beyond len(labels) — vertices sampled only
+// as neighbors — contribute neither loss nor gradient.
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int32) (float64, *tensor.Matrix) {
+	n := len(labels)
+	if n > logits.Rows {
+		n = logits.Rows
+	}
+	grad := tensor.New(logits.Rows, logits.Cols)
+	var loss float64
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		// Stable softmax.
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(float64(v - maxV))
+		}
+		logSum := math.Log(sum)
+		y := int(labels[i])
+		if y < 0 || y >= logits.Cols {
+			y = 0
+		}
+		loss += logSum - float64(row[y]-maxV)
+		grow := grad.Row(i)
+		for j, v := range row {
+			p := math.Exp(float64(v-maxV)) / sum
+			grow[j] = float32(p) / float32(n)
+		}
+		grow[y] -= 1 / float32(n)
+	}
+	if n > 0 {
+		loss /= float64(n)
+	}
+	return loss, grad
+}
+
+// Accuracy returns the fraction of rows whose argmax matches the label.
+func Accuracy(logits *tensor.Matrix, labels []int32) float64 {
+	n := len(labels)
+	if n > logits.Rows {
+		n = logits.Rows
+	}
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if int32(best) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

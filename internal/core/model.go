@@ -1,0 +1,424 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"graphtensor/internal/dfg"
+	"graphtensor/internal/dkp"
+	"graphtensor/internal/kernels"
+	"graphtensor/internal/tensor"
+)
+
+// LayerSpec describes one GNN layer: its mode functions (f, g, h), the
+// combination's dimensions and whether the non-linearity applies (the
+// final logit layer omits it).
+type LayerSpec struct {
+	Modes      kernels.Modes
+	InDim      int
+	OutDim     int
+	Activation bool
+}
+
+// Layer is one instantiated GNN layer with its MLP parameters, gradients
+// and host-side dataflow graph.
+type Layer struct {
+	Spec LayerSpec
+	W    *tensor.Matrix
+	B    []float32
+	DW   *tensor.Matrix
+	DB   []float32
+	// DFG is the layer's dataflow graph; when DKP is enabled the Pull and
+	// MatMul nodes have been replaced by a Cost-DKP node (Fig 11c).
+	DFG *dfg.Graph
+}
+
+// Config assembles a model.
+type Config struct {
+	// Strategy selects the kernel scheduling discipline (NAPA for
+	// GraphTensor, or a baseline strategy).
+	Strategy kernels.Strategy
+	Specs    []LayerSpec
+	Seed     uint64
+	// EnableDKP installs the Cost-DKP rewrite and lets the orchestrator
+	// choose placements at runtime (Dynamic-GT). Without it every layer
+	// runs aggregation-first (Base-GT and the baselines' default).
+	EnableDKP bool
+	// ForcePlacement overrides the placement decision for every layer
+	// (used for the manual combination-first baseline variants whose
+	// spread Fig 15 shows as error bars). Nil means no override.
+	ForcePlacement *dkp.Placement
+}
+
+// Model is a multi-layer GNN bound to a kernel strategy.
+type Model struct {
+	Strategy kernels.Strategy
+	Layers   []*Layer
+	Orch     *dkp.Orchestrator
+	force    *dkp.Placement
+	dkpOn    bool
+}
+
+// NewModel initializes layer parameters (Glorot uniform) and builds the
+// per-layer DFGs, applying the Cost-DKP rewrite when DKP is enabled.
+func NewModel(cfg Config) (*Model, error) {
+	if cfg.Strategy == nil {
+		cfg.Strategy = kernels.NAPA{}
+	}
+	if len(cfg.Specs) == 0 {
+		return nil, errors.New("core: model needs at least one layer")
+	}
+	rng := tensor.NewRNG(cfg.Seed + 1)
+	m := &Model{Strategy: cfg.Strategy, Orch: dkp.NewOrchestrator(), force: cfg.ForcePlacement, dkpOn: cfg.EnableDKP}
+	for i, spec := range cfg.Specs {
+		if err := spec.Modes.Validate(); err != nil {
+			return nil, fmt.Errorf("core: layer %d: %w", i, err)
+		}
+		if i > 0 && cfg.Specs[i-1].OutDim != spec.InDim {
+			return nil, fmt.Errorf("core: layer %d input dim %d != previous output %d", i, spec.InDim, cfg.Specs[i-1].OutDim)
+		}
+		l := &Layer{
+			Spec: spec,
+			W:    tensor.GlorotUniform(spec.InDim, spec.OutDim, rng),
+			B:    make([]float32, spec.OutDim),
+			DW:   tensor.New(spec.InDim, spec.OutDim),
+			DB:   make([]float32, spec.OutDim),
+			DFG:  dfg.BuildLayer(spec.Modes.HasEdgeWeight()),
+		}
+		if cfg.EnableDKP {
+			l.DFG.RewriteDKP()
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m, nil
+}
+
+// Input is one prepared batch on device, ready for a training step.
+type Input struct {
+	// Graphs[i] is the subgraph layer i (0-based, first executed) runs on.
+	Graphs []*kernels.Graphs
+	// X is the batch embedding table (row = new VID).
+	X *kernels.DeviceMatrix
+	// Labels are the classes of the batch dst vertices (new VIDs 0..n-1).
+	Labels []int32
+}
+
+// rearrangeable reports whether layer l admits an exact combination-first
+// placement under the model's strategy: unweighted layers rearrange under
+// any strategy; weighted layers only under NAPA, which implements the
+// exact split rewrites of §V-A.
+func (m *Model) rearrangeable(l *Layer) bool {
+	// Max-pooling is non-linear; the W·X = (WX) commutation that justifies
+	// combination-first does not hold, so it always runs aggregation-first.
+	if l.Spec.Modes.F == kernels.AggrMax {
+		return false
+	}
+	if !kernels.CombFirstSupported(l.Spec.Modes) {
+		return false
+	}
+	if l.Spec.Modes.G == kernels.WeightNone {
+		return true
+	}
+	_, isNAPA := m.Strategy.(kernels.NAPA)
+	return isNAPA
+}
+
+// SetForcePlacement overrides (or, with nil, releases) the placement
+// decision for subsequent batches. The DKP warmup uses this to explore
+// both placements so the least-squares fit observes kernel times across
+// both shapes.
+func (m *Model) SetForcePlacement(p *dkp.Placement) { m.force = p }
+
+// Placement returns the execution order layer index li will use for the
+// given layer graph dimensions.
+func (m *Model) Placement(li int, g *kernels.Graphs) dkp.Placement {
+	l := m.Layers[li]
+	if m.force != nil {
+		if *m.force == dkp.CombFirst && !m.rearrangeable(l) {
+			return dkp.AggrFirst
+		}
+		return *m.force
+	}
+	if !m.dkpOn {
+		return dkp.AggrFirst
+	}
+	nDst, nSrc, nEdge := g.Shape()
+	d := dkp.Dims{NSrc: nSrc, NDst: nDst, NEdge: nEdge, NFeat: l.Spec.InDim, NHid: l.Spec.OutDim}
+	return m.Orch.Decide(d, li == 0, m.rearrangeable(l), l.Spec.Modes.WeightCols(l.Spec.InDim))
+}
+
+// layerCache carries forward products a layer's backward pass needs.
+type layerCache struct {
+	placement dkp.Placement
+	x         *kernels.DeviceMatrix // layer input
+	agg       *kernels.DeviceMatrix // aggregation-first: aggregated embeddings
+	out       *kernels.DeviceMatrix // post-linear (activated in place)
+	pre       *tensor.Matrix        // pre-activation values
+	cf        *kernels.CombFirstResult
+	argmax    []int32 // max-pool aggregation: per-(dst,feature) arg-max src
+}
+
+// ForwardResult is a model forward pass: logits plus per-layer caches.
+type ForwardResult struct {
+	Logits *kernels.DeviceMatrix
+	caches []layerCache
+}
+
+// Placements lists the placement each layer used.
+func (fr *ForwardResult) Placements() []dkp.Placement {
+	out := make([]dkp.Placement, len(fr.caches))
+	for i, c := range fr.caches {
+		out[i] = c.placement
+	}
+	return out
+}
+
+// Forward runs FWP through all layers.
+func (m *Model) Forward(ctx *kernels.Ctx, in *Input) (*ForwardResult, error) {
+	if len(in.Graphs) != len(m.Layers) {
+		return nil, fmt.Errorf("core: %d layer graphs for %d layers", len(in.Graphs), len(m.Layers))
+	}
+	fr := &ForwardResult{caches: make([]layerCache, len(m.Layers))}
+	x := in.X
+	for li, l := range m.Layers {
+		g := in.Graphs[li]
+		cache := &fr.caches[li]
+		cache.x = x
+		cache.placement = m.Placement(li, g)
+		nDst, nSrc, nEdge := g.Shape()
+		switch cache.placement {
+		case dkp.CombFirst:
+			if l.Spec.Modes.G == kernels.WeightNone {
+				// Generic comb-first: MatMul on the untransformed input,
+				// then the strategy's aggregation in the hidden width.
+				t0 := time.Now()
+				t, err := kernels.Linear(ctx, x, l.W, "combfirst-t")
+				if err != nil {
+					return nil, err
+				}
+				m.Orch.ObserveCombination(nSrc, l.Spec.InDim, l.Spec.OutDim, false, time.Since(t0))
+				t0 = time.Now()
+				out, err := m.Strategy.Forward(ctx, g, t, l.Spec.Modes)
+				if err != nil {
+					return nil, err
+				}
+				m.Orch.ObserveAggregation(nEdge, nDst, l.Spec.OutDim, false, time.Since(t0))
+				cache.cf = &kernels.CombFirstResult{Out: out, T: t}
+			} else {
+				res, err := kernels.CombFirstForward(ctx, g, x, l.W, l.Spec.Modes)
+				if err != nil {
+					return nil, err
+				}
+				cache.cf = res
+			}
+			cache.out = cache.cf.Out
+		default: // aggregation-first
+			t0 := time.Now()
+			var agg *kernels.DeviceMatrix
+			if l.Spec.Modes.F == kernels.AggrMax {
+				// Max-pooling (GraphSAGE extension): a non-linear reduction
+				// the strategies' linear accumulation cannot express, so it
+				// uses the dedicated pool kernel and records the arg-max.
+				var err error
+				agg, cache.argmax, err = kernels.SAGEPoolForward(ctx, g, x)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				var err error
+				agg, err = m.Strategy.Forward(ctx, g, x, l.Spec.Modes)
+				if err != nil {
+					return nil, err
+				}
+			}
+			m.Orch.ObserveAggregation(nEdge, nDst, l.Spec.InDim, false, time.Since(t0))
+			cache.agg = agg
+			t0 = time.Now()
+			out, err := kernels.Linear(ctx, agg, l.W, "layer-out")
+			if err != nil {
+				return nil, err
+			}
+			m.Orch.ObserveCombination(nDst, l.Spec.InDim, l.Spec.OutDim, false, time.Since(t0))
+			cache.out = out
+		}
+		pre, err := kernels.BiasReLU(ctx, cache.out, l.B)
+		if err != nil {
+			return nil, err
+		}
+		cache.pre = pre
+		if !l.Spec.Activation {
+			copy(cache.out.M.Data, pre.Data)
+		}
+		x = cache.out
+	}
+	fr.Logits = x
+	return fr, nil
+}
+
+// Backward runs BWP from the logit gradient, accumulating parameter
+// gradients. Layer 0 (first executed, last in BWP order) skips the
+// aggregation backward under aggregation-first placement — no gradient is
+// needed past the input embeddings (§V-A).
+func (m *Model) Backward(ctx *kernels.Ctx, in *Input, fr *ForwardResult, dLogits *tensor.Matrix) error {
+	dOut, err := kernels.WrapDeviceMatrix(ctx.Dev, dLogits, "dlogits")
+	if err != nil {
+		return err
+	}
+	for li := len(m.Layers) - 1; li >= 0; li-- {
+		l := m.Layers[li]
+		cache := &fr.caches[li]
+		g := in.Graphs[li]
+		nDst, nSrc, nEdge := g.Shape()
+
+		if l.Spec.Activation {
+			if err := kernels.BiasReLUBackward(ctx, dOut, cache.pre, l.DB); err != nil {
+				return err
+			}
+		} else {
+			// Bias gradient without the ReLU mask.
+			for i := 0; i < dOut.M.Rows; i++ {
+				row := dOut.M.Row(i)
+				for j, v := range row {
+					l.DB[j] += v
+				}
+			}
+		}
+
+		var dx *kernels.DeviceMatrix
+		switch cache.placement {
+		case dkp.CombFirst:
+			if l.Spec.Modes.G == kernels.WeightNone {
+				t0 := time.Now()
+				dT, err := m.Strategy.Backward(ctx, g, cache.cf.T, dOut, l.Spec.Modes)
+				if err != nil {
+					return err
+				}
+				m.Orch.ObserveAggregation(nEdge, nSrc, l.Spec.OutDim, true, time.Since(t0))
+				t0 = time.Now()
+				dx, err = kernels.LinearBackward(ctx, cache.x, dT, l.W, l.DW, "combfirst-dx")
+				if err != nil {
+					return err
+				}
+				m.Orch.ObserveCombination(nSrc, l.Spec.InDim, l.Spec.OutDim, true, time.Since(t0))
+				dT.Free()
+			} else {
+				var err error
+				dx, err = kernels.CombFirstBackward(ctx, g, cache.x, cache.cf, dOut, l.W, l.DW, l.Spec.Modes)
+				if err != nil {
+					return err
+				}
+			}
+		default:
+			t0 := time.Now()
+			dAgg, err := kernels.LinearBackward(ctx, cache.agg, dOut, l.W, l.DW, "layer-dagg")
+			if err != nil {
+				return err
+			}
+			m.Orch.ObserveCombination(nDst, l.Spec.InDim, l.Spec.OutDim, true, time.Since(t0))
+			if li > 0 {
+				t0 = time.Now()
+				if l.Spec.Modes.F == kernels.AggrMax {
+					dx, err = kernels.SAGEPoolBackward(ctx, g, cache.x, dAgg, cache.argmax)
+				} else {
+					dx, err = m.Strategy.Backward(ctx, g, cache.x, dAgg, l.Spec.Modes)
+				}
+				if err != nil {
+					return err
+				}
+				m.Orch.ObserveAggregation(nEdge, nSrc, l.Spec.InDim, true, time.Since(t0))
+			}
+			dAgg.Free()
+		}
+		// Release forward intermediates now that they are consumed.
+		if cache.agg != nil {
+			cache.agg.Free()
+		}
+		if cache.cf != nil && cache.cf.T != nil {
+			cache.cf.T.Free()
+		}
+		if cache.cf != nil && cache.cf.WAgg != nil {
+			cache.cf.WAgg.Free()
+		}
+		if li > 0 {
+			dOut.Free()
+			dOut = dx
+		} else if dx != nil {
+			dx.Free()
+		}
+	}
+	dOut.Free()
+	return nil
+}
+
+// Step applies one SGD update with the given learning rate and clears the
+// gradients.
+func (m *Model) Step(lr float32) {
+	for _, l := range m.Layers {
+		for i, g := range l.DW.Data {
+			l.W.Data[i] -= lr * g
+			l.DW.Data[i] = 0
+		}
+		for i, g := range l.DB {
+			l.B[i] -= lr * g
+			l.DB[i] = 0
+		}
+	}
+}
+
+// TrainStep runs one full FWP + loss + BWP + SGD update and returns the
+// batch loss.
+func (m *Model) TrainStep(ctx *kernels.Ctx, in *Input, lr float32) (float64, error) {
+	fr, err := m.Forward(ctx, in)
+	if err != nil {
+		return 0, err
+	}
+	loss, dLogits := SoftmaxCrossEntropy(fr.Logits.M, in.Labels)
+	if err := m.Backward(ctx, in, fr, dLogits); err != nil {
+		return 0, err
+	}
+	m.Step(lr)
+	fr.Logits.Free()
+	return loss, nil
+}
+
+// FitDKP runs the orchestrator's least-squares fit over the kernel timings
+// observed so far (call after the first epoch, as the paper does).
+func (m *Model) FitDKP() (float64, error) { return m.Orch.Fit() }
+
+// Infer runs forward propagation only (no gradients, no parameter update)
+// and returns the logits — the inference path of a trained model. Forward
+// intermediates are released before returning.
+func (m *Model) Infer(ctx *kernels.Ctx, in *Input) (*kernels.DeviceMatrix, error) {
+	fr, err := m.Forward(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	for i := range fr.caches {
+		c := &fr.caches[i]
+		if c.agg != nil {
+			c.agg.Free()
+		}
+		if c.cf != nil {
+			if c.cf.T != nil {
+				c.cf.T.Free()
+			}
+			if c.cf.WAgg != nil {
+				c.cf.WAgg.Free()
+			}
+		}
+	}
+	return fr.Logits, nil
+}
+
+// Evaluate runs inference and returns the classification accuracy against
+// the batch labels.
+func (m *Model) Evaluate(ctx *kernels.Ctx, in *Input) (float64, error) {
+	logits, err := m.Infer(ctx, in)
+	if err != nil {
+		return 0, err
+	}
+	acc := Accuracy(logits.M, in.Labels)
+	logits.Free()
+	return acc, nil
+}

@@ -1,0 +1,103 @@
+package datasets
+
+import (
+	"testing"
+
+	"graphtensor/internal/graph"
+)
+
+func TestAllDatasetsGenerate(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := Generate(name, TestScale())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := ds.Graph.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", name, err)
+		}
+		if ds.NumVertices() < 64 {
+			t.Errorf("%s: only %d vertices", name, ds.NumVertices())
+		}
+		if ds.Features.NumVertices() != ds.NumVertices() {
+			t.Errorf("%s: feature rows %d != vertices %d", name, ds.Features.NumVertices(), ds.NumVertices())
+		}
+		if len(ds.Labels) != ds.NumVertices() {
+			t.Errorf("%s: labels %d != vertices %d", name, len(ds.Labels), ds.NumVertices())
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, _ := Generate("products", TestScale())
+	b, _ := Generate("products", TestScale())
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("nondeterministic edge count")
+	}
+	if a.Features.Data.MaxAbsDiff(b.Features.Data) != 0 {
+		t.Error("nondeterministic features")
+	}
+}
+
+func TestPowerLawIsSkewed(t *testing.T) {
+	ds, _ := Generate("products", DefaultScale())
+	stats := graph.ComputeDegreeStats(ds.Graph.Degrees())
+	// Power-law graphs have stddev well above the mean (heavy tail).
+	if stats.StdDev < stats.Mean {
+		t.Errorf("power-law stddev %g not > mean %g", stats.StdDev, stats.Mean)
+	}
+}
+
+func TestNearRegularIsEven(t *testing.T) {
+	ds, _ := Generate("roadnet-ca", DefaultScale())
+	stats := graph.ComputeDegreeStats(ds.Graph.Degrees())
+	// Road networks have low degree variance relative to the mean.
+	if stats.StdDev > stats.Mean {
+		t.Errorf("near-regular stddev %g should be <= mean %g", stats.StdDev, stats.Mean)
+	}
+}
+
+func TestHeavyFeatureFlag(t *testing.T) {
+	light, _ := SpecByName("products")
+	heavy, _ := SpecByName("wiki-talk")
+	if light.Heavy {
+		t.Error("products should be light-feature")
+	}
+	if !heavy.Heavy {
+		t.Error("wiki-talk should be heavy-feature")
+	}
+}
+
+func TestBatchDstsUnique(t *testing.T) {
+	ds, _ := Generate("products", TestScale())
+	batch := ds.BatchDsts(50, 1)
+	if len(batch) != 50 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	seen := map[graph.VID]bool{}
+	for _, v := range batch {
+		if seen[v] {
+			t.Fatalf("duplicate batch vertex %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestEdgeRatioPreserved(t *testing.T) {
+	// The scaled graph should keep roughly the paper's edges-per-vertex.
+	for _, name := range []string{"products", "amazon", "roadnet-ca"} {
+		spec, _ := SpecByName(name)
+		ds, _ := Generate(name, DefaultScale())
+		fullRatio := float64(spec.Edges) / float64(spec.Vertices)
+		gotRatio := float64(ds.NumEdges()) / float64(ds.NumVertices())
+		// Within a factor of 2 (caps may clamp edges).
+		if gotRatio > fullRatio*2+1 || gotRatio < fullRatio/2 {
+			t.Errorf("%s: scaled e/v %.1f far from full %.1f", name, gotRatio, fullRatio)
+		}
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := Generate("nonexistent", TestScale()); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}

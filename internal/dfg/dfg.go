@@ -1,0 +1,184 @@
+// Package dfg models the dataflow graph of a GNN layer that GraphTensor's
+// kernel orchestrator manipulates (§V-A, Fig 11c). Since delegated kernels
+// cannot be reordered GPU-side, the orchestrator rewrites the DFG at the
+// host before execution: it locates NAPA's Pull node and the subsequent
+// MatMul of the MLP and replaces the pair with a single Cost-DKP node that
+// decides the execution order at runtime from the input tensor's
+// dimensionality.
+package dfg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind identifies a DFG node's operation.
+type OpKind int
+
+const (
+	// OpInput is the layer's input embedding tensor.
+	OpInput OpKind = iota
+	// OpNeighborApply computes per-edge weights (SDDMM / g).
+	OpNeighborApply
+	// OpPull aggregates neighbor messages (SpMM / h then f).
+	OpPull
+	// OpMatMul is the combination's linear transformation.
+	OpMatMul
+	// OpBiasReLU is the combination's bias + non-linearity (σ(·+b)).
+	OpBiasReLU
+	// OpCostDKP is the fused placement node installed by the rewrite: it
+	// runs {Pull, MatMul} in whichever order the cost model picks.
+	OpCostDKP
+	// OpOutput marks the layer output.
+	OpOutput
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpInput:
+		return "Input"
+	case OpNeighborApply:
+		return "NeighborApply"
+	case OpPull:
+		return "Pull"
+	case OpMatMul:
+		return "MatMul"
+	case OpBiasReLU:
+		return "BiasReLU"
+	case OpCostDKP:
+		return "Cost-DKP"
+	case OpOutput:
+		return "Output"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Node is one operation in the layer DFG.
+type Node struct {
+	ID     int
+	Kind   OpKind
+	Inputs []*Node
+}
+
+// Graph is a small DAG of layer operations with a single output node.
+type Graph struct {
+	nodes  []*Node
+	output *Node
+}
+
+// NewNode appends a node with the given inputs.
+func (g *Graph) NewNode(kind OpKind, inputs ...*Node) *Node {
+	n := &Node{ID: len(g.nodes), Kind: kind, Inputs: inputs}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// SetOutput marks the graph's output node.
+func (g *Graph) SetOutput(n *Node) { g.output = n }
+
+// Output returns the output node.
+func (g *Graph) Output() *Node { return g.output }
+
+// Nodes returns all live nodes reachable from the output in topological
+// order (inputs before users).
+func (g *Graph) Topo() []*Node {
+	seen := map[*Node]bool{}
+	var order []*Node
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, in := range n.Inputs {
+			visit(in)
+		}
+		order = append(order, n)
+	}
+	visit(g.output)
+	return order
+}
+
+// Find returns the first reachable node of the given kind, or nil.
+func (g *Graph) Find(kind OpKind) *Node {
+	for _, n := range g.Topo() {
+		if n.Kind == kind {
+			return n
+		}
+	}
+	return nil
+}
+
+// BuildLayer constructs the standard (static, aggregation-first) DFG of
+// one GNN layer: Input → [NeighborApply →] Pull → MatMul → BiasReLU →
+// Output.
+func BuildLayer(weighted bool) *Graph {
+	g := &Graph{}
+	in := g.NewNode(OpInput)
+	pullInputs := []*Node{in}
+	if weighted {
+		na := g.NewNode(OpNeighborApply, in)
+		pullInputs = append(pullInputs, na)
+	}
+	pull := g.NewNode(OpPull, pullInputs...)
+	mm := g.NewNode(OpMatMul, pull)
+	act := g.NewNode(OpBiasReLU, mm)
+	out := g.NewNode(OpOutput, act)
+	g.SetOutput(out)
+	return g
+}
+
+// RewriteDKP performs the host-side rewrite of Fig 11c: it searches for a
+// Pull node whose (sole) consumer is a MatMul, disconnects the pair, and
+// installs a Cost-DKP node wired to Pull's inputs and MatMul's consumers.
+// It returns true if the rewrite applied.
+func (g *Graph) RewriteDKP() bool {
+	nodes := g.Topo()
+	// Build consumer lists.
+	consumers := map[*Node][]*Node{}
+	for _, n := range nodes {
+		for _, in := range n.Inputs {
+			consumers[in] = append(consumers[in], n)
+		}
+	}
+	for _, pull := range nodes {
+		if pull.Kind != OpPull {
+			continue
+		}
+		cs := consumers[pull]
+		if len(cs) != 1 || cs[0].Kind != OpMatMul {
+			continue
+		}
+		mm := cs[0]
+		dkpNode := g.NewNode(OpCostDKP, pull.Inputs...)
+		for _, user := range consumers[mm] {
+			for i, in := range user.Inputs {
+				if in == mm {
+					user.Inputs[i] = dkpNode
+				}
+			}
+		}
+		if g.output == mm {
+			g.output = dkpNode
+		}
+		return true
+	}
+	return false
+}
+
+// String renders the reachable graph, one node per line.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, n := range g.Topo() {
+		fmt.Fprintf(&sb, "n%d %s(", n.ID, n.Kind)
+		for i, in := range n.Inputs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "n%d", in.ID)
+		}
+		sb.WriteString(")\n")
+	}
+	return sb.String()
+}

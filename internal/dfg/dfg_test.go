@@ -1,0 +1,88 @@
+package dfg
+
+import "testing"
+
+func TestBuildLayerUnweighted(t *testing.T) {
+	g := BuildLayer(false)
+	if g.Find(OpNeighborApply) != nil {
+		t.Error("unweighted layer should not have NeighborApply")
+	}
+	if g.Find(OpPull) == nil || g.Find(OpMatMul) == nil {
+		t.Error("missing Pull or MatMul")
+	}
+}
+
+func TestBuildLayerWeighted(t *testing.T) {
+	g := BuildLayer(true)
+	if g.Find(OpNeighborApply) == nil {
+		t.Error("weighted layer must have NeighborApply")
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := BuildLayer(true)
+	order := g.Topo()
+	pos := map[*Node]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for _, n := range order {
+		for _, in := range n.Inputs {
+			if pos[in] > pos[n] {
+				t.Errorf("%s appears after its user %s", in.Kind, n.Kind)
+			}
+		}
+	}
+}
+
+func TestRewriteDKPReplacesPullMatMul(t *testing.T) {
+	g := BuildLayer(false)
+	if !g.RewriteDKP() {
+		t.Fatal("rewrite did not apply")
+	}
+	if g.Find(OpCostDKP) == nil {
+		t.Error("Cost-DKP node missing")
+	}
+	if g.Find(OpPull) != nil {
+		t.Error("Pull should be gone after rewrite")
+	}
+	if g.Find(OpMatMul) != nil {
+		t.Error("MatMul should be gone after rewrite")
+	}
+	// Output must still be reachable and downstream of Cost-DKP.
+	if g.Output() == nil {
+		t.Error("no output after rewrite")
+	}
+}
+
+func TestRewriteDKPWeighted(t *testing.T) {
+	g := BuildLayer(true)
+	if !g.RewriteDKP() {
+		t.Fatal("rewrite did not apply for weighted layer")
+	}
+	// NeighborApply feeds Cost-DKP and must survive.
+	if g.Find(OpNeighborApply) == nil {
+		t.Error("NeighborApply should survive the rewrite")
+	}
+	dkp := g.Find(OpCostDKP)
+	if dkp == nil {
+		t.Fatal("Cost-DKP missing")
+	}
+	hasNA := false
+	for _, in := range dkp.Inputs {
+		if in.Kind == OpNeighborApply {
+			hasNA = true
+		}
+	}
+	if !hasNA {
+		t.Error("Cost-DKP should take NeighborApply as input")
+	}
+}
+
+func TestRewriteIdempotentNoPull(t *testing.T) {
+	g := BuildLayer(false)
+	g.RewriteDKP()
+	if g.RewriteDKP() {
+		t.Error("second rewrite should find nothing to do")
+	}
+}

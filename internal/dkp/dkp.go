@@ -1,0 +1,304 @@
+// Package dkp implements GraphTensor's dynamic kernel placement (§V-A):
+// the kernel orchestrator that decides, per GNN layer and at runtime,
+// whether the aggregation (Pull) or the combination's MatMul should execute
+// first, using the cost model of Table I with coefficients fitted by least
+// squares from measured kernel execution times during the first training
+// epoch.
+package dkp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"graphtensor/internal/lsq"
+)
+
+// Placement is a kernel execution order for one layer.
+type Placement int
+
+const (
+	// AggrFirst is the conventional static order: aggregate, then combine.
+	AggrFirst Placement = iota
+	// CombFirst runs the combination's MatMul before the aggregation,
+	// shrinking the feature dimension the aggregation must move.
+	CombFirst
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	if p == CombFirst {
+		return "combination-first"
+	}
+	return "aggregation-first"
+}
+
+// Dims are the system hyperparameters the cost model consumes (Fig 11a):
+// the sampled-subgraph shape and the layer's feature/hidden widths.
+type Dims struct {
+	NSrc, NDst, NEdge int
+	NFeat, NHid       int
+}
+
+// Coeffs are the cost-model coefficient parameters of Table I.
+type Coeffs struct {
+	// FWP aggregation-first kernel-execution factors.
+	AlphaFWP, BetaFWP float64
+	// BWP aggregation-first factors.
+	AlphaBWP, BetaBWP float64
+	// FWP combination-first factors.
+	GammaFWP, DeltaFWP float64
+	// BWP combination-first factors.
+	GammaBWP, DeltaBWP float64
+}
+
+// PaperCoeffs returns the fitted coefficients the paper reports in Table I
+// (in microsecond-scale units on their RTX 3090 testbed). They serve as
+// the pre-fit defaults here.
+func PaperCoeffs() Coeffs {
+	return Coeffs{
+		AlphaFWP: 6e-5, BetaFWP: 1e-5,
+		AlphaBWP: 1e-7, BetaBWP: 4e-6,
+		GammaFWP: 1e-3, DeltaFWP: 1e-12,
+		GammaBWP: 1e-6, DeltaBWP: 1e-8,
+	}
+}
+
+// AggrFirstBenefit estimates the latency saved by running the aggregation
+// first (Table I): the aggregation shrinks the combination's input height
+// from nSrc to nDst, so the saved combination work is
+// (nSrc − nDst)·(α·nHid·nFeat + β·nHid) in FWP. For the first GNN layer's
+// BWP — the last executed — the reduction factor is nSrc: aggregation-first
+// skips the aggregation BWP entirely because no gradient flows past the
+// input embeddings (only MLP parameters need gradients).
+func (c Coeffs) AggrFirstBenefit(d Dims, firstLayer bool) (fwp, bwp float64) {
+	red := float64(d.NSrc - d.NDst)
+	fwp = red * (c.AlphaFWP*float64(d.NHid)*float64(d.NFeat) + c.BetaFWP*float64(d.NHid))
+	bwpRed := red
+	if firstLayer {
+		bwpRed = float64(d.NSrc)
+	}
+	bwp = bwpRed * (c.AlphaBWP*float64(d.NHid)*float64(d.NFeat) + c.BetaBWP*float64(d.NFeat))
+	return fwp, bwp
+}
+
+// CombFirstBenefit estimates the latency saved by running the combination
+// first: it shrinks the aggregation's feature width from nFeat to nHid, so
+// the saved aggregation work is (nFeat − nHid)·(γ·nEdge + δ·nDst) in FWP
+// and (nFeat − nHid)·(γ·nEdge + δ·nSrc) in BWP (Table I).
+//
+// weightCols is the width of the layer's edge-weight vectors (0 for
+// unweighted modes, 1 for scalar weights, nFeat for NGCF-style vector
+// weights). Edge-weighted layers keep a weight branch that must still
+// aggregate in the original width plus one extra MatMul over the dsts, so
+// the benefit shrinks accordingly — this is why "edge weighting is hard to
+// get benefit from kernel scheduling" (§VI-A).
+func (c Coeffs) CombFirstBenefit(d Dims, weightCols int) (fwp, bwp float64) {
+	red := float64(d.NFeat - d.NHid)
+	fwp = red * (c.GammaFWP*float64(d.NEdge) + c.DeltaFWP*float64(d.NDst))
+	bwp = red * (c.GammaBWP*float64(d.NEdge) + c.DeltaBWP*float64(d.NSrc))
+	if weightCols > 0 {
+		// Weight-branch aggregation (width weightCols) stays untransformed.
+		fwp -= float64(weightCols) * (c.GammaFWP*float64(d.NEdge) + c.DeltaFWP*float64(d.NDst))
+		bwp -= float64(weightCols) * (c.GammaBWP*float64(d.NEdge) + c.DeltaBWP*float64(d.NSrc))
+		if weightCols > 1 {
+			// Vector weights add one MatMul over the aggregated weights.
+			fwp -= float64(d.NDst) * (c.AlphaFWP*float64(d.NHid)*float64(d.NFeat) + c.BetaFWP*float64(d.NHid))
+			bwp -= float64(d.NDst) * (c.AlphaBWP*float64(d.NHid)*float64(d.NFeat) + c.BetaBWP*float64(d.NFeat))
+		}
+	}
+	return fwp, bwp
+}
+
+// Decide returns the placement with the larger estimated benefit for a
+// layer of the given dimensions and edge-weight width.
+func (c Coeffs) Decide(d Dims, firstLayer bool, weightCols int) Placement {
+	af, ab := c.AggrFirstBenefit(d, firstLayer)
+	cf, cb := c.CombFirstBenefit(d, weightCols)
+	if cf+cb > af+ab {
+		return CombFirst
+	}
+	return AggrFirst
+}
+
+// ReductionRate returns the input-tensor size reduction each placement
+// achieves for the layer (Fig 11b): elements entering the second kernel
+// under aggregation-first versus combination-first.
+func ReductionRate(d Dims) (aggrFirst, combFirst float64) {
+	in := float64(d.NSrc) * float64(d.NFeat)
+	if in == 0 {
+		return 0, 0
+	}
+	aggrFirst = in / (float64(d.NDst) * float64(d.NFeat)) // height shrinks
+	combFirst = in / (float64(d.NSrc) * float64(d.NHid))  // width shrinks
+	return aggrFirst, combFirst
+}
+
+// Orchestrator is the runtime component: it observes kernel execution
+// times during the first epoch, fits the cost model coefficients with
+// least-squares estimation, and answers placement queries. Before enough
+// samples accumulate it answers from the Table I defaults. Safe for
+// concurrent use.
+type Orchestrator struct {
+	mu     sync.Mutex
+	coeffs Coeffs
+	fitted bool
+	fitErr float64
+
+	// Observation design matrices: one row per measured kernel launch.
+	combFWP, combBWP samples // combination (Linear) kernels
+	aggrFWP, aggrBWP samples // aggregation (Pull/SpMM) kernels
+
+	// MinSamples gates fitting; the paper fits at the end of the first
+	// epoch's batches.
+	MinSamples int
+}
+
+type samples struct {
+	a [][]float64
+	b []float64
+}
+
+// NewOrchestrator returns an orchestrator primed with the paper's Table I
+// coefficients.
+func NewOrchestrator() *Orchestrator {
+	return &Orchestrator{coeffs: PaperCoeffs(), MinSamples: 4}
+}
+
+// Coeffs returns the current (default or fitted) coefficients.
+func (o *Orchestrator) Coeffs() Coeffs {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.coeffs
+}
+
+// Fitted reports whether least-squares fitting has replaced the defaults.
+func (o *Orchestrator) Fitted() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.fitted
+}
+
+// FitError returns the mean relative error of the last fit (the paper
+// reports 12.5% for its testbed).
+func (o *Orchestrator) FitError() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.fitErr
+}
+
+// ObserveCombination records a measured combination (MatMul) kernel time
+// for rows×nFeat×nHid work in the given direction.
+func (o *Orchestrator) ObserveCombination(rows, nFeat, nHid int, bwp bool, d time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := &o.combFWP
+	if bwp {
+		s = &o.combBWP
+	}
+	s.a = append(s.a, []float64{
+		float64(rows) * float64(nHid) * float64(nFeat),
+		float64(rows) * float64(nHid),
+	})
+	s.b = append(s.b, float64(d.Microseconds()))
+}
+
+// ObserveAggregation records a measured aggregation kernel time for a
+// layer of nEdge edges, nDst dsts (nSrc for BWP) and feature width dim.
+func (o *Orchestrator) ObserveAggregation(nEdge, nVertexSide, dim int, bwp bool, d time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s := &o.aggrFWP
+	if bwp {
+		s = &o.aggrBWP
+	}
+	s.a = append(s.a, []float64{
+		float64(nEdge) * float64(dim),
+		float64(nVertexSide) * float64(dim),
+	})
+	s.b = append(s.b, float64(d.Microseconds()))
+}
+
+// Fit runs least-squares estimation over the collected samples and
+// installs the fitted coefficients. It returns the mean relative error.
+func (o *Orchestrator) Fit() (float64, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.combFWP.b) < o.MinSamples || len(o.aggrFWP.b) < o.MinSamples {
+		return 0, fmt.Errorf("dkp: not enough samples (comb %d, aggr %d, need %d)",
+			len(o.combFWP.b), len(o.aggrFWP.b), o.MinSamples)
+	}
+	c := o.coeffs
+	var errs []float64
+	fit2 := func(s samples, p1, p2 *float64) error {
+		if len(s.b) < 2 {
+			return nil
+		}
+		x, err := lsq.Solve(s.a, s.b)
+		if err == lsq.ErrSingular {
+			// Sampled graphs with uniform fanout make the two design
+			// columns exactly collinear (nEdge = k·nDst); fall back to the
+			// dominant single-coefficient model.
+			var num, den float64
+			for r := range s.a {
+				num += s.a[r][0] * s.b[r]
+				den += s.a[r][0] * s.a[r][0]
+			}
+			if den == 0 {
+				return lsq.ErrSingular
+			}
+			x = []float64{num / den, 0}
+			err = nil
+		}
+		if err != nil {
+			return err
+		}
+		*p1, *p2 = x[0], x[1]
+		errs = append(errs, lsq.MeanAbsErr(s.a, s.b, x))
+		return nil
+	}
+	if err := fit2(o.combFWP, &c.AlphaFWP, &c.BetaFWP); err != nil {
+		return 0, err
+	}
+	if err := fit2(o.combBWP, &c.AlphaBWP, &c.BetaBWP); err != nil {
+		return 0, err
+	}
+	if err := fit2(o.aggrFWP, &c.GammaFWP, &c.DeltaFWP); err != nil {
+		return 0, err
+	}
+	if err := fit2(o.aggrBWP, &c.GammaBWP, &c.DeltaBWP); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, e := range errs {
+		sum += e
+	}
+	if len(errs) > 0 {
+		o.fitErr = sum / float64(len(errs))
+	}
+	// Sanity-gate the fit: a least-squares solve over few shapes can push
+	// a secondary coefficient slightly negative — clamp those to zero. A
+	// grossly poor fit (>100% mean error) keeps the defaults instead.
+	for _, p := range []*float64{&c.AlphaFWP, &c.BetaFWP, &c.AlphaBWP, &c.BetaBWP, &c.GammaFWP, &c.DeltaFWP, &c.GammaBWP, &c.DeltaBWP} {
+		if *p < 0 {
+			*p = 0
+		}
+	}
+	if o.fitErr > 1.0 {
+		return o.fitErr, nil
+	}
+	o.coeffs = c
+	o.fitted = true
+	return o.fitErr, nil
+}
+
+// Decide returns the placement for a layer, combining the cost model with
+// the exactness gate: layers whose modes admit no exact rewrite always run
+// aggregation-first regardless of the estimate. weightCols is the layer's
+// edge-weight width (see CombFirstBenefit).
+func (o *Orchestrator) Decide(d Dims, firstLayer, rearrangeable bool, weightCols int) Placement {
+	if !rearrangeable {
+		return AggrFirst
+	}
+	return o.Coeffs().Decide(d, firstLayer, weightCols)
+}

@@ -1,0 +1,90 @@
+package dkp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReductionRateDirection(t *testing.T) {
+	// Wide features: comb-first reduces more (width 4096 -> 64).
+	wide := Dims{NSrc: 600, NDst: 500, NEdge: 4000, NFeat: 4096, NHid: 64}
+	af, cf := ReductionRate(wide)
+	if cf <= af {
+		t.Errorf("wide: comb-first rate %g should exceed aggr-first %g", cf, af)
+	}
+	// Big neighborhood, tiny features: aggr-first reduces more.
+	tall := Dims{NSrc: 5000, NDst: 50, NEdge: 9000, NFeat: 8, NHid: 64}
+	af, cf = ReductionRate(tall)
+	if af <= cf {
+		t.Errorf("tall: aggr-first rate %g should exceed comb-first %g", af, cf)
+	}
+}
+
+func TestDecideWideChoosesCombFirst(t *testing.T) {
+	c := PaperCoeffs()
+	wide := Dims{NSrc: 550, NDst: 500, NEdge: 4000, NFeat: 4096, NHid: 64}
+	if c.Decide(wide, false, 0) != CombFirst {
+		t.Error("wide features should pick combination-first")
+	}
+}
+
+func TestDecideFirstLayerBWPBonus(t *testing.T) {
+	// The first layer's aggr-first BWP uses reduction factor nSrc (not
+	// nSrc-nDst), which should make aggr-first more attractive there.
+	c := PaperCoeffs()
+	d := Dims{NSrc: 2000, NDst: 1900, NEdge: 6000, NFeat: 200, NHid: 64}
+	_, bwpFirst := c.AggrFirstBenefit(d, true)
+	_, bwpMid := c.AggrFirstBenefit(d, false)
+	if bwpFirst <= bwpMid {
+		t.Errorf("first-layer BWP benefit %g should exceed mid-layer %g", bwpFirst, bwpMid)
+	}
+}
+
+func TestEdgeWeightReducesCombFirstBenefit(t *testing.T) {
+	c := PaperCoeffs()
+	d := Dims{NSrc: 600, NDst: 500, NEdge: 4000, NFeat: 256, NHid: 64}
+	plain, _ := c.CombFirstBenefit(d, 0)
+	weighted, _ := c.CombFirstBenefit(d, d.NFeat)
+	if weighted >= plain {
+		t.Errorf("edge-weighted comb-first benefit %g should be below unweighted %g", weighted, plain)
+	}
+}
+
+func TestOrchestratorFitImprovesOverDefault(t *testing.T) {
+	o := NewOrchestrator()
+	o.MinSamples = 2
+	// Synthesize measurements from a known linear cost with varied shapes.
+	for i := 1; i <= 6; i++ {
+		rows := 100 * i
+		nFeat := 50 * i
+		nHid := 8 * i
+		combUs := time.Duration(float64(rows)*float64(nHid)*float64(nFeat)*3e-6+float64(rows)*float64(nHid)*2e-6) * time.Microsecond
+		o.ObserveCombination(rows, nFeat, nHid, false, combUs)
+		o.ObserveCombination(rows/2, nFeat, nHid, true, combUs/2)
+		aggrUs := time.Duration(float64(rows*5)*1e-3+float64(rows)*2e-3) * time.Microsecond
+		o.ObserveAggregation(rows*5, rows, nFeat, false, aggrUs)
+		o.ObserveAggregation(rows*5, rows, nFeat, true, aggrUs)
+	}
+	if _, err := o.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Fitted() {
+		t.Error("orchestrator did not mark itself fitted")
+	}
+}
+
+func TestFitInsufficientSamples(t *testing.T) {
+	o := NewOrchestrator()
+	o.ObserveCombination(10, 10, 10, false, time.Microsecond)
+	if _, err := o.Fit(); err == nil {
+		t.Error("expected insufficient-samples error")
+	}
+}
+
+func TestNonRearrangeableStaysAggrFirst(t *testing.T) {
+	o := NewOrchestrator()
+	d := Dims{NSrc: 600, NDst: 500, NEdge: 4000, NFeat: 4096, NHid: 64}
+	if o.Decide(d, false, false, 0) != AggrFirst {
+		t.Error("non-rearrangeable layer must stay aggregation-first")
+	}
+}

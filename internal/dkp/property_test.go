@@ -1,0 +1,70 @@
+package dkp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickDecideConsistentWithBenefits: Decide always returns the
+// placement with the larger total benefit.
+func TestQuickDecideConsistentWithBenefits(t *testing.T) {
+	c := PaperCoeffs()
+	f := func(nSrcR, nDstR, nEdgeR, nFeatR, nHidR uint16) bool {
+		d := Dims{
+			NSrc:  1 + int(nSrcR)%5000,
+			NDst:  1 + int(nDstR)%5000,
+			NEdge: 1 + int(nEdgeR)%20000,
+			NFeat: 1 + int(nFeatR)%4096,
+			NHid:  1 + int(nHidR)%512,
+		}
+		if d.NDst > d.NSrc {
+			d.NDst = d.NSrc
+		}
+		af, ab := c.AggrFirstBenefit(d, false)
+		cf, cb := c.CombFirstBenefit(d, 0)
+		got := c.Decide(d, false, 0)
+		if cf+cb > af+ab {
+			return got == CombFirst
+		}
+		return got == AggrFirst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickReductionRatesPositive: reduction rates are always >= 1 (a kernel
+// never inflates its input).
+func TestQuickReductionRatesPositive(t *testing.T) {
+	f := func(nSrcR, nDstR, nFeatR, nHidR uint16) bool {
+		nSrc := 1 + int(nSrcR)%5000
+		nDst := 1 + int(nDstR)%nSrc
+		nHid := 1 + int(nHidR)%512
+		nFeat := nHid + int(nFeatR)%4096 // nFeat >= nHid
+		d := Dims{NSrc: nSrc, NDst: nDst, NFeat: nFeat, NHid: nHid, NEdge: nSrc * 3}
+		af, cf := ReductionRate(d)
+		return af >= 0.99 && cf >= 0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEdgeWeightNeverIncreasesBenefit: adding an edge-weight branch
+// never makes comb-first more attractive than the unweighted case.
+func TestQuickEdgeWeightNeverIncreasesBenefit(t *testing.T) {
+	c := PaperCoeffs()
+	f := func(nSrcR, nDstR, nFeatR, nHidR uint16) bool {
+		nSrc := 1 + int(nSrcR)%5000
+		nDst := 1 + int(nDstR)%nSrc
+		nHid := 1 + int(nHidR)%256
+		nFeat := nHid + int(nFeatR)%2048
+		d := Dims{NSrc: nSrc, NDst: nDst, NFeat: nFeat, NHid: nHid, NEdge: nSrc * 4}
+		plain, _ := c.CombFirstBenefit(d, 0)
+		weighted, _ := c.CombFirstBenefit(d, nFeat)
+		return weighted <= plain+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

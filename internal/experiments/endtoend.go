@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"graphtensor/internal/frameworks"
+	"graphtensor/internal/metrics"
+	"graphtensor/internal/pipeline"
+)
+
+func init() {
+	register("fig19", "Fig 19: end-to-end latency across frameworks (incl. preprocessing)", runFig19)
+	register("fig20", "Fig 20: preprocessing timeline, Prepro-GT vs prior scheduling", runFig20)
+}
+
+// e2eFrameworks is the comparison set of Fig 19.
+var e2eFrameworks = []frameworks.Kind{
+	frameworks.DGL, frameworks.PyGMT, frameworks.SALIENT, frameworks.DynamicGT, frameworks.PreproGT,
+}
+
+// runFig19 measures end-to-end training latency — preprocessing included,
+// with each framework's own overlap discipline — normalized to Dynamic-GT
+// as in the paper.
+func runFig19(cfg Config) (*Result, error) {
+	var sb strings.Builder
+	var series []metrics.Series
+	for _, model := range []string{"gcn", "ngcf"} {
+		fmt.Fprintf(&sb, "--- %s (normalized end-to-end latency, Dynamic-GT = 100) ---\n", strings.ToUpper(model))
+		fmt.Fprintf(&sb, "%-12s", "dataset")
+		for _, k := range e2eFrameworks {
+			fmt.Fprintf(&sb, "%12s", k)
+		}
+		sb.WriteByte('\n')
+		perFw := map[frameworks.Kind]*metrics.Series{}
+		for _, k := range e2eFrameworks {
+			perFw[k] = &metrics.Series{Label: fmt.Sprintf("%s/%s", k, model)}
+		}
+		for _, name := range allSets(cfg) {
+			ds, err := loadDataset(cfg, name)
+			if err != nil {
+				return nil, err
+			}
+			n := cfg.batches(4)
+			wall := map[frameworks.Kind]time.Duration{}
+			oom := map[frameworks.Kind]bool{}
+			for _, k := range e2eFrameworks {
+				tr, err := newTrainer(cfg, k, ds, model)
+				if err != nil {
+					return nil, err
+				}
+				if k == frameworks.DynamicGT || k == frameworks.PreproGT {
+					if err := tr.Warmup(1); err != nil {
+						if _, isOOM := unwrapOOM(err); isOOM {
+							oom[k] = true
+							continue
+						}
+						return nil, err
+					}
+				}
+				d, err := tr.SimulatedEpoch(n)
+				if err != nil {
+					if _, isOOM := unwrapOOM(err); isOOM {
+						oom[k] = true
+						continue
+					}
+					return nil, fmt.Errorf("%s/%s/%s: %w", name, model, k, err)
+				}
+				wall[k] = d / time.Duration(n)
+			}
+			base := wall[frameworks.DynamicGT]
+			fmt.Fprintf(&sb, "%-12s", name)
+			for _, k := range e2eFrameworks {
+				if oom[k] {
+					fmt.Fprintf(&sb, "%12s", "OOM")
+					perFw[k].Points = append(perFw[k].Points, metrics.Point{X: name, Value: -1})
+					continue
+				}
+				norm := 100 * float64(wall[k]) / float64(base)
+				perFw[k].Points = append(perFw[k].Points, metrics.Point{X: name, Value: norm})
+				fmt.Fprintf(&sb, "%12.1f", norm)
+			}
+			sb.WriteByte('\n')
+		}
+		for _, k := range e2eFrameworks {
+			series = append(series, *perFw[k])
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("Paper: SALIENT cuts end-to-end latency 19.7% (light) / 51.1% (heavy)\n")
+	sb.WriteString("below DGL/PyG-MT; Prepro-GT is a further 1.7x below Dynamic-GT on\n")
+	sb.WriteString("average (2.4x vs the multi-threaded baselines overall).\n")
+	return &Result{Text: sb.String(), Series: series}, nil
+}
+
+// runFig20 traces the modeled preprocessing timeline (per-task completion)
+// for the two representative workloads under the serialized discipline
+// (prior) and the service-wide tensor scheduler (Prepro-GT). Completion
+// times come from the pipeline cost model's schedule, which places K
+// overlapping the tail of S and T streaming behind K on pinned buffers.
+func runFig20(cfg Config) (*Result, error) {
+	var sb strings.Builder
+	tasks := []string{"sample", "reindex", "lookup", "transfer"}
+	var shortenings []float64
+	cm := pipeline.DefaultPrepCostModel()
+	for _, name := range []string{"products", "wiki-talk"} {
+		ds, err := loadDataset(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := newTrainer(cfg, frameworks.PreproGT, ds, "gcn")
+		if err != nil {
+			return nil, err
+		}
+		b, err := tr.Prepare(ds.BatchDsts(tr.Opt.BatchSize, 1), nil)
+		if err != nil {
+			return nil, err
+		}
+		// Task times are shared; the completion schedule differs.
+		ttPinned := cm.Model(b.Sample, ds.FeatureDim, true)
+		ttSerial := cm.Model(b.Sample, ds.FeatureDim, false)
+		b.Release()
+
+		// Prior: serial chain with hash contention, pageable transfer.
+		cont := time.Duration(float64(ttSerial.Sample+ttSerial.Reindex) * cm.HashContention)
+		priorDone := map[string]time.Duration{}
+		priorDone["sample"] = ttSerial.Sample + cont/2
+		priorDone["reindex"] = priorDone["sample"] + ttSerial.Reindex + cont/2
+		priorDone["lookup"] = priorDone["reindex"] + ttSerial.Lookup
+		priorDone["transfer"] = priorDone["lookup"] + ttSerial.Transfer
+
+		// Prepro-GT: A/H split removes contention; K overlaps S's tail, T
+		// streams behind K on pinned buffers.
+		oursDone := map[string]time.Duration{}
+		oursDone["sample"] = ttPinned.Sample
+		oursDone["reindex"] = ttPinned.Sample + ttPinned.Reindex
+		kStart := ttPinned.Sample / 2
+		oursDone["lookup"] = kStart + ttPinned.Lookup
+		tEnd := kStart + ttPinned.Transfer
+		if oursDone["lookup"] > tEnd {
+			tEnd = oursDone["lookup"]
+		}
+		oursDone["transfer"] = tEnd
+
+		fmt.Fprintf(&sb, "--- %s (modeled per-task completion time) ---\n", name)
+		fmt.Fprintf(&sb, "%-10s %16s %16s\n", "task", "prior (serial)", "Prepro-GT")
+		for _, task := range tasks {
+			fmt.Fprintf(&sb, "%-10s %16v %16v\n", task,
+				priorDone[task].Round(time.Microsecond), oursDone[task].Round(time.Microsecond))
+		}
+		priorTotal := priorDone["transfer"]
+		oursTotal := oursDone["transfer"]
+		shorten := 100 * (1 - float64(oursTotal)/float64(priorTotal))
+		shortenings = append(shortenings, shorten)
+		fmt.Fprintf(&sb, "%-10s %16v %16v   (shortened %.1f%%)\n\n", "TOTAL",
+			priorTotal.Round(time.Microsecond), oursTotal.Round(time.Microsecond), shorten)
+	}
+	fmt.Fprintf(&sb, "average preprocessing shortening: %.1f%%   (paper: 48.5%%)\n", metrics.Mean(shortenings))
+	sb.WriteString("Paper: Prepro-GT's sampling/reindexing complete later (cores shared)\n")
+	sb.WriteString("but lookup and transfer finish 14.9%/48.5% earlier; light graphs gain\n")
+	sb.WriteString("less because sampling bounds their pipeline.\n")
+	return &Result{Text: sb.String()}, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"graphtensor/internal/graph"
+	"graphtensor/internal/kernels"
+	"graphtensor/internal/multigpu"
+	"graphtensor/internal/prep"
+	"graphtensor/internal/sampling"
+	"graphtensor/internal/tensor"
+)
+
+func init() {
+	register("multigpu", "ROC-style multi-GPU SpMM: load balance + per-device work (§VII)", runMultiGPU)
+}
+
+// runMultiGPU reproduces ROC's balanced multi-GPU SpMM: it partitions a
+// sampled subgraph's dst vertices across 1/2/4/8 devices balancing edges,
+// and reports the load imbalance and the peak per-device FLOPs (which
+// should fall roughly linearly with device count for a well-balanced
+// partition).
+func runMultiGPU(cfg Config) (*Result, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %6s %12s %16s %12s\n", "dataset", "nGPU", "imbalance", "peak dev FLOPs", "speedup")
+	for _, name := range []string{"products", "reddit2", "wiki-talk"} {
+		ds, err := loadDataset(cfg, name)
+		if err != nil {
+			return nil, err
+		}
+		res := sampling.New(ds.Graph, samplerFor(ds)).Sample(ds.BatchDsts(300, 1))
+		coo, err := prep.ReindexCOO(res.ForLayer(1), res.Table)
+		if err != nil {
+			return nil, err
+		}
+		csr, _ := graph.BCOOToBCSR(coo)
+		x := tensor.Random(csr.NumSrc, ds.FeatureDim, 1, tensor.NewRNG(1))
+		var basePeak int64
+		for _, nGPU := range []int{1, 2, 4, 8} {
+			plan := multigpu.BalanceByEdges(csr, nGPU, cfg.device())
+			fwd, err := plan.Forward(x, kernels.GCNModes())
+			if err != nil {
+				return nil, err
+			}
+			var peak int64
+			for _, f := range fwd.PerDeviceFLOPs {
+				if f > peak {
+					peak = f
+				}
+			}
+			if nGPU == 1 {
+				basePeak = peak
+			}
+			sp := float64(basePeak) / float64(peak)
+			fmt.Fprintf(&sb, "%-12s %6d %11.2fx %16d %11.2fx\n", name, nGPU, plan.Imbalance, peak, sp)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("Balancing by edge count keeps imbalance near 1.0; peak per-device work\nfalls ~linearly with GPU count — ROC's balanced-SpMM result (§VII). ROC\nstill pays format translation per device, which NAPA avoids.\n")
+	return &Result{Text: sb.String()}, nil
+}

@@ -1,0 +1,133 @@
+package frameworks
+
+import (
+	"testing"
+
+	"graphtensor/internal/datasets"
+	"graphtensor/internal/gpusim"
+)
+
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.BatchSize = 60
+	o.Device = gpusim.DefaultConfig()
+	return o
+}
+
+func testDS(t *testing.T) *datasets.Dataset {
+	t.Helper()
+	ds, err := datasets.Generate("products", datasets.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestAllFrameworksTrainABatch(t *testing.T) {
+	ds := testDS(t)
+	for _, k := range Kinds() {
+		for _, model := range []string{"gcn", "ngcf"} {
+			opt := quickOpts()
+			opt.Model = model
+			tr, err := New(k, ds, opt)
+			if err != nil {
+				t.Fatalf("%s/%s new: %v", k, model, err)
+			}
+			st, err := tr.TrainBatch()
+			if err != nil {
+				t.Fatalf("%s/%s train: %v", k, model, err)
+			}
+			if st.Loss <= 0 {
+				t.Errorf("%s/%s loss %g not positive", k, model, st.Loss)
+			}
+			if st.Counters.FLOPs == 0 {
+				t.Errorf("%s/%s did no FLOPs", k, model)
+			}
+		}
+	}
+}
+
+func TestFrameworkFormats(t *testing.T) {
+	ds := testDS(t)
+	cases := map[Kind]string{
+		DGL:      "COO",
+		PyG:      "CSR",
+		BaseGT:   "CSR+CSC",
+		PreproGT: "CSR+CSC",
+	}
+	for k, want := range cases {
+		tr, err := New(k, ds, quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.format.String() != want {
+			t.Errorf("%s format %s want %s", k, tr.format, want)
+		}
+	}
+}
+
+func TestPinnedFrameworks(t *testing.T) {
+	ds := testDS(t)
+	for _, k := range []Kind{SALIENT, BaseGT, DynamicGT, PreproGT} {
+		tr, _ := New(k, ds, quickOpts())
+		if !tr.pinned {
+			t.Errorf("%s should use pinned memory", k)
+		}
+	}
+	for _, k := range []Kind{PyG, PyGMT, GNNAdvisor} {
+		tr, _ := New(k, ds, quickOpts())
+		if tr.pinned {
+			t.Errorf("%s should not use pinned memory", k)
+		}
+	}
+}
+
+func TestModeledPrepPipelinedFaster(t *testing.T) {
+	ds, _ := datasets.Generate("wiki-talk", datasets.TestScale())
+	serial, _ := New(DynamicGT, ds, quickOpts())
+	pipe, _ := New(PreproGT, ds, quickOpts())
+	b1, err := serial.Prepare(ds.BatchDsts(60, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b1.Release()
+	b2, err := pipe.Prepare(ds.BatchDsts(60, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Release()
+	serialPrep := serial.ModeledPrep(b1)
+	pipePrep := pipe.ModeledPrep(b2)
+	if pipePrep >= serialPrep {
+		t.Errorf("pipelined prep %v should be faster than serial %v", pipePrep, serialPrep)
+	}
+}
+
+func TestWarmupFitsDKP(t *testing.T) {
+	ds := testDS(t)
+	tr, _ := New(DynamicGT, ds, quickOpts())
+	if err := tr.Warmup(3); err != nil {
+		t.Fatal(err)
+	}
+	// Warmup either fits or keeps defaults; both are valid, but it must
+	// not error and the model must still train.
+	if _, err := tr.TrainBatch(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulatedEpochMonotone(t *testing.T) {
+	ds := testDS(t)
+	tr, _ := New(BaseGT, ds, quickOpts())
+	d1, err := tr.SimulatedEpoch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := tr.SimulatedEpoch(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= d1 {
+		t.Errorf("2 batches (%v) should take longer than 1 (%v)", d2, d1)
+	}
+}

@@ -1,0 +1,197 @@
+package gpusim
+
+import "sync"
+
+// Kernel is one simulated GPU kernel launch. Obtain per-SM contexts with
+// SM(i), record accesses from (at most) one goroutine per context, then call
+// Finish to flush per-SM tallies into the device counters and retrieve the
+// kernel's own stats.
+type Kernel struct {
+	dev  *Device
+	name string
+	sms  []*SMContext
+	once sync.Once
+	st   KernelStats
+}
+
+// KernelStats summarizes one kernel launch.
+type KernelStats struct {
+	Name         string
+	FLOPs        int64
+	GlobalLoads  int64
+	GlobalStores int64
+	CacheHits    int64
+	CacheBytes   int64
+}
+
+// StartKernel begins a kernel launch. Each SM starts with a cold cache,
+// which matches the paper's per-kernel Nsight measurements.
+func (d *Device) StartKernel(name string) *Kernel {
+	d.launches.Add(1)
+	k := &Kernel{dev: d, name: name, sms: make([]*SMContext, d.cfg.NumSMs)}
+	for i := range k.sms {
+		k.sms[i] = newSMContext(d.cfg)
+	}
+	return k
+}
+
+// NumSMs returns the number of per-kernel SM contexts.
+func (k *Kernel) NumSMs() int { return len(k.sms) }
+
+// SM returns the context of streaming multiprocessor i.
+func (k *Kernel) SM(i int) *SMContext { return k.sms[i] }
+
+// Finish aggregates all SM contexts into the device counters; it is
+// idempotent and returns the kernel's stats.
+func (k *Kernel) Finish() KernelStats {
+	k.once.Do(func() {
+		st := KernelStats{Name: k.name}
+		for _, sm := range k.sms {
+			st.FLOPs += sm.flops
+			st.GlobalLoads += sm.loads
+			st.GlobalStores += sm.stores
+			st.CacheHits += sm.hits
+		}
+		st.CacheBytes = st.GlobalLoads * k.dev.cfg.CacheLineBytes
+		k.dev.flops.Add(st.FLOPs)
+		k.dev.globalLoads.Add(st.GlobalLoads)
+		k.dev.globalStores.Add(st.GlobalStores)
+		k.dev.cacheHits.Add(st.CacheHits)
+		k.dev.cacheBytes.Add(st.CacheBytes)
+		k.st = st
+	})
+	return k.st
+}
+
+// SMContext records the memory traffic of one streaming multiprocessor
+// during one kernel. Not safe for concurrent use: confine each context to a
+// single goroutine (the simulator's analogue of "one thread block at a time
+// per SM slot").
+type SMContext struct {
+	cache    *lruCache
+	lineMask int64
+	lineSize int64
+	flops    int64
+	loads    int64
+	stores   int64
+	hits     int64
+}
+
+func newSMContext(cfg Config) *SMContext {
+	lines := int(cfg.CacheBytesPerSM / cfg.CacheLineBytes)
+	if lines < 1 {
+		lines = 1
+	}
+	return &SMContext{
+		cache:    newLRUCache(lines),
+		lineSize: cfg.CacheLineBytes,
+		lineMask: ^(cfg.CacheLineBytes - 1),
+	}
+}
+
+// Read simulates a load of size bytes at addr: each touched cache line is
+// either served from the SM cache (hit) or filled from global memory (one
+// global load, lineSize bytes of cache traffic).
+func (sm *SMContext) Read(addr, size int64) {
+	if size <= 0 {
+		return
+	}
+	first := addr & sm.lineMask
+	last := (addr + size - 1) & sm.lineMask
+	for line := first; line <= last; line += sm.lineSize {
+		if sm.cache.touch(line) {
+			sm.hits++
+		} else {
+			sm.loads++
+		}
+	}
+}
+
+// Write simulates a store of size bytes at addr. The model is write-through
+// without write-allocate: each touched line counts one global store and
+// does not displace cache contents, matching how GPU L1s treat global
+// stores by default.
+func (sm *SMContext) Write(addr, size int64) {
+	if size <= 0 {
+		return
+	}
+	first := addr & sm.lineMask
+	last := (addr + size - 1) & sm.lineMask
+	sm.stores += (last-first)/sm.lineSize + 1
+}
+
+// AddFLOPs credits n floating point operations to this SM.
+func (sm *SMContext) AddFLOPs(n int64) { sm.flops += n }
+
+// lruCache is a line-granular fully-associative LRU cache, implemented as a
+// map plus intrusive doubly-linked list.
+type lruCache struct {
+	capacity int
+	items    map[int64]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+}
+
+type lruNode struct {
+	key        int64
+	prev, next *lruNode
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{capacity: capacity, items: make(map[int64]*lruNode, capacity)}
+}
+
+// touch marks line as most recently used, inserting (and evicting the LRU
+// line if full) when absent. It returns true on hit.
+func (c *lruCache) touch(line int64) bool {
+	if n, ok := c.items[line]; ok {
+		c.moveToFront(n)
+		return true
+	}
+	n := &lruNode{key: line}
+	if len(c.items) >= c.capacity {
+		evict := c.tail
+		c.remove(evict)
+		delete(c.items, evict.key)
+	}
+	c.items[line] = n
+	c.pushFront(n)
+	return false
+}
+
+func (c *lruCache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lruCache) remove(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.remove(n)
+	c.pushFront(n)
+}
+
+// len reports the number of resident lines (for tests).
+func (c *lruCache) len() int { return len(c.items) }

@@ -1,0 +1,67 @@
+package gpusim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// PCIe models host→device data transfer (the T subtask of preprocessing).
+// Transfers both perform a real memory copy — so wall-clock pipelines see
+// genuine work — and accrue modeled transfer time under the configured link
+// bandwidth, with pageable buffers paying the driver staging overhead that
+// pinned (page-locked) buffers avoid (§V-B, SALIENT comparison in §VI-B).
+type PCIe struct {
+	dev           *Device
+	modeledNs     atomic.Int64
+	bytesMoved    atomic.Int64
+	transferCount atomic.Int64
+}
+
+// PCIe returns the device's transfer engine.
+func (d *Device) PCIe() *PCIe { return &PCIe{dev: d} }
+
+// Transfer copies src into dst (a "device-resident" host slice backing a
+// Buffer) and accounts the modeled transfer time. pinned selects the
+// page-locked fast path. It returns the modeled duration.
+func (p *PCIe) Transfer(dst, src []float32, pinned bool) time.Duration {
+	copy(dst, src)
+	if !pinned {
+		// Pageable transfers stage through a driver bounce buffer: model it
+		// with a second copy so the host-side cost is physically real.
+		staging := make([]float32, len(src))
+		copy(staging, src)
+		_ = staging
+	}
+	return p.account(int64(len(src))*4, pinned)
+}
+
+// TransferBytes accounts a transfer of n bytes without moving real data;
+// used for index arrays whose payloads live inside graph structures.
+func (p *PCIe) TransferBytes(n int64, pinned bool) time.Duration {
+	return p.account(n, pinned)
+}
+
+func (p *PCIe) account(n int64, pinned bool) time.Duration {
+	cfg := p.dev.cfg
+	ns := cfg.TransferLatencyNs
+	if cfg.PCIeBytesPerSec > 0 {
+		ns += float64(n) / cfg.PCIeBytesPerSec * 1e9
+	}
+	if !pinned {
+		ns *= cfg.PageableOverhead
+	}
+	d := time.Duration(ns)
+	p.modeledNs.Add(int64(d))
+	p.bytesMoved.Add(n)
+	p.transferCount.Add(1)
+	return d
+}
+
+// ModeledTime returns the total modeled transfer time accrued.
+func (p *PCIe) ModeledTime() time.Duration { return time.Duration(p.modeledNs.Load()) }
+
+// BytesMoved returns the total bytes transferred.
+func (p *PCIe) BytesMoved() int64 { return p.bytesMoved.Load() }
+
+// Transfers returns the number of transfer operations issued.
+func (p *PCIe) Transfers() int64 { return p.transferCount.Load() }

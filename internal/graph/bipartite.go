@@ -1,0 +1,207 @@
+package graph
+
+import "fmt"
+
+// The sampled per-layer subgraphs of a GNN are bipartite: a small set of
+// dst vertices aggregates from a (super)set of src vertices (§II-B). The
+// B-prefixed types below are the bipartite analogues of COO/CSR/CSC that
+// every GNN kernel in this repo consumes. Src and dst VIDs are "new" VIDs
+// allocated by the sampling hash table, so they index the per-batch
+// embedding table directly.
+
+// BCOO is a bipartite edge list (the Graph-approach's initial format).
+type BCOO struct {
+	NumDst, NumSrc int
+	Src, Dst       []VID
+}
+
+// BCSR lists, per dst vertex, the src vertices whose embeddings aggregate
+// into it. This is GraphTensor's one true format for FWP (§IV-B).
+type BCSR struct {
+	NumDst, NumSrc int
+	Ptr            []int32 // len NumDst+1
+	Srcs           []VID   // values in [0, NumSrc)
+}
+
+// BCSC lists, per src vertex, the dst vertices it contributed to — the
+// layout backward propagation traverses (§II-A, Fig 3b).
+type BCSC struct {
+	NumDst, NumSrc int
+	Ptr            []int32 // len NumSrc+1
+	Dsts           []VID   // values in [0, NumDst)
+}
+
+// NumEdges returns the edge count.
+func (g *BCOO) NumEdges() int { return len(g.Src) }
+
+// NumEdges returns the edge count.
+func (g *BCSR) NumEdges() int { return len(g.Srcs) }
+
+// NumEdges returns the edge count.
+func (g *BCSC) NumEdges() int { return len(g.Dsts) }
+
+// Neighbors returns the src VIDs aggregating into dst d.
+func (g *BCSR) Neighbors(d VID) []VID { return g.Srcs[g.Ptr[d]:g.Ptr[d+1]] }
+
+// Neighbors returns the dst VIDs src s contributes to.
+func (g *BCSC) Neighbors(s VID) []VID { return g.Dsts[g.Ptr[s]:g.Ptr[s+1]] }
+
+// Degree returns the in-degree of dst d.
+func (g *BCSR) Degree(d VID) int { return int(g.Ptr[d+1] - g.Ptr[d]) }
+
+// Validate checks structural invariants.
+func (g *BCOO) Validate() error {
+	if len(g.Src) != len(g.Dst) {
+		return fmt.Errorf("graph: BCOO src/dst length mismatch %d vs %d", len(g.Src), len(g.Dst))
+	}
+	for i := range g.Src {
+		if g.Src[i] < 0 || int(g.Src[i]) >= g.NumSrc {
+			return fmt.Errorf("graph: BCOO edge %d src %d out of range [0,%d)", i, g.Src[i], g.NumSrc)
+		}
+		if g.Dst[i] < 0 || int(g.Dst[i]) >= g.NumDst {
+			return fmt.Errorf("graph: BCOO edge %d dst %d out of range [0,%d)", i, g.Dst[i], g.NumDst)
+		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants.
+func (g *BCSR) Validate() error {
+	if len(g.Ptr) != g.NumDst+1 {
+		return fmt.Errorf("graph: BCSR ptr length %d != dsts+1 %d", len(g.Ptr), g.NumDst+1)
+	}
+	if g.Ptr[0] != 0 || int(g.Ptr[g.NumDst]) != len(g.Srcs) {
+		return fmt.Errorf("graph: BCSR ptr endpoints invalid")
+	}
+	for i := 0; i < g.NumDst; i++ {
+		if g.Ptr[i] > g.Ptr[i+1] {
+			return fmt.Errorf("graph: BCSR ptr not monotone at %d", i)
+		}
+	}
+	for i, s := range g.Srcs {
+		if s < 0 || int(s) >= g.NumSrc {
+			return fmt.Errorf("graph: BCSR src %d at %d out of range [0,%d)", s, i, g.NumSrc)
+		}
+	}
+	return nil
+}
+
+// Validate checks structural invariants.
+func (g *BCSC) Validate() error {
+	if len(g.Ptr) != g.NumSrc+1 {
+		return fmt.Errorf("graph: BCSC ptr length %d != srcs+1 %d", len(g.Ptr), g.NumSrc+1)
+	}
+	if g.Ptr[0] != 0 || int(g.Ptr[g.NumSrc]) != len(g.Dsts) {
+		return fmt.Errorf("graph: BCSC ptr endpoints invalid")
+	}
+	for i := 0; i < g.NumSrc; i++ {
+		if g.Ptr[i] > g.Ptr[i+1] {
+			return fmt.Errorf("graph: BCSC ptr not monotone at %d", i)
+		}
+	}
+	for i, d := range g.Dsts {
+		if d < 0 || int(d) >= g.NumDst {
+			return fmt.Errorf("graph: BCSC dst %d at %d out of range [0,%d)", d, i, g.NumDst)
+		}
+	}
+	return nil
+}
+
+// BCOOToBCSR translates the edge list into the dst-indexed format via a
+// stable counting sort, reporting the translation work (Fig 5c top).
+func BCOOToBCSR(g *BCOO) (*BCSR, TranslationStats) {
+	m := g.NumEdges()
+	stats := TranslationStats{
+		EdgesSorted:     m,
+		PointerBuilt:    g.NumDst + 1,
+		BufferBytes:     int64(m)*8 + int64(g.NumDst)*4,
+		ComparisonsUsed: sortCost(m),
+	}
+	out := &BCSR{NumDst: g.NumDst, NumSrc: g.NumSrc, Ptr: make([]int32, g.NumDst+1), Srcs: make([]VID, m)}
+	for _, d := range g.Dst {
+		out.Ptr[d+1]++
+	}
+	for i := 0; i < g.NumDst; i++ {
+		out.Ptr[i+1] += out.Ptr[i]
+	}
+	cursor := make([]int32, g.NumDst)
+	copy(cursor, out.Ptr[:g.NumDst])
+	for e := 0; e < m; e++ {
+		d := g.Dst[e]
+		out.Srcs[cursor[d]] = g.Src[e]
+		cursor[d]++
+	}
+	return out, stats
+}
+
+// BCOOToBCSC translates the edge list into the src-indexed BWP layout.
+func BCOOToBCSC(g *BCOO) (*BCSC, TranslationStats) {
+	m := g.NumEdges()
+	stats := TranslationStats{
+		EdgesSorted:     m,
+		PointerBuilt:    g.NumSrc + 1,
+		BufferBytes:     int64(m)*8 + int64(g.NumSrc)*4,
+		ComparisonsUsed: sortCost(m),
+	}
+	out := &BCSC{NumDst: g.NumDst, NumSrc: g.NumSrc, Ptr: make([]int32, g.NumSrc+1), Dsts: make([]VID, m)}
+	for _, s := range g.Src {
+		out.Ptr[s+1]++
+	}
+	for i := 0; i < g.NumSrc; i++ {
+		out.Ptr[i+1] += out.Ptr[i]
+	}
+	cursor := make([]int32, g.NumSrc)
+	copy(cursor, out.Ptr[:g.NumSrc])
+	for e := 0; e < m; e++ {
+		s := g.Src[e]
+		out.Dsts[cursor[s]] = g.Dst[e]
+		cursor[s]++
+	}
+	return out, stats
+}
+
+// BCSRToBCOO expands back to an edge list in dst-major order.
+func BCSRToBCOO(g *BCSR) *BCOO {
+	m := g.NumEdges()
+	out := &BCOO{NumDst: g.NumDst, NumSrc: g.NumSrc, Src: make([]VID, m), Dst: make([]VID, m)}
+	e := 0
+	for d := 0; d < g.NumDst; d++ {
+		for _, s := range g.Neighbors(VID(d)) {
+			out.Src[e] = s
+			out.Dst[e] = VID(d)
+			e++
+		}
+	}
+	return out
+}
+
+// BCSRToBCSC converts the FWP layout to the BWP layout directly, without
+// passing through COO (GraphTensor does this during preprocessing, off the
+// training critical path).
+func BCSRToBCSC(g *BCSR) *BCSC {
+	out := &BCSC{NumDst: g.NumDst, NumSrc: g.NumSrc, Ptr: make([]int32, g.NumSrc+1), Dsts: make([]VID, g.NumEdges())}
+	for _, s := range g.Srcs {
+		out.Ptr[s+1]++
+	}
+	for i := 0; i < g.NumSrc; i++ {
+		out.Ptr[i+1] += out.Ptr[i]
+	}
+	cursor := make([]int32, g.NumSrc)
+	copy(cursor, out.Ptr[:g.NumSrc])
+	for d := 0; d < g.NumDst; d++ {
+		for _, s := range g.Neighbors(VID(d)) {
+			out.Dsts[cursor[s]] = VID(d)
+			cursor[s]++
+		}
+	}
+	return out
+}
+
+// Bytes returns the device memory the structure occupies (index arrays).
+func (g *BCOO) Bytes() int64 { return int64(len(g.Src)+len(g.Dst)) * 4 }
+
+// Bytes returns the device memory the structure occupies (index arrays).
+func (g *BCSR) Bytes() int64 { return int64(len(g.Ptr)+len(g.Srcs)) * 4 }
+
+// Bytes returns the device memory the structure occupies (index arrays).
+func (g *BCSC) Bytes() int64 { return int64(len(g.Ptr)+len(g.Dsts)) * 4 }

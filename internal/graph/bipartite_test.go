@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomBCOO(seed int64, nDst, nSrc, maxDeg int) *BCOO {
+	r := uint64(seed)*2862933555777941757 + 101
+	next := func(mod int) int {
+		r = r*6364136223846793005 + 1442695040888963407
+		return int((r >> 33) % uint64(mod))
+	}
+	coo := &BCOO{NumDst: nDst, NumSrc: nSrc}
+	for d := 0; d < nDst; d++ {
+		deg := 1 + next(maxDeg)
+		for i := 0; i < deg; i++ {
+			coo.Src = append(coo.Src, VID(next(nSrc)))
+			coo.Dst = append(coo.Dst, VID(d))
+		}
+	}
+	return coo
+}
+
+func TestBCOOToBCSRValid(t *testing.T) {
+	coo := randomBCOO(1, 20, 35, 5)
+	csr, stats := BCOOToBCSR(coo)
+	if err := csr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.EdgesSorted != coo.NumEdges() {
+		t.Errorf("stats edges %d != %d", stats.EdgesSorted, coo.NumEdges())
+	}
+	if csr.NumEdges() != coo.NumEdges() {
+		t.Errorf("edge count changed")
+	}
+}
+
+func TestBCSRToBCSCRoundTrip(t *testing.T) {
+	coo := randomBCOO(2, 15, 25, 4)
+	csr, _ := BCOOToBCSR(coo)
+	csc := BCSRToBCSC(csr)
+	if err := csc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Total edges preserved and endpoint multisets consistent.
+	if csc.NumEdges() != csr.NumEdges() {
+		t.Fatalf("csc edges %d != %d", csc.NumEdges(), csr.NumEdges())
+	}
+	// Reconstruct src->dst from CSC and compare against CSR's dst->src.
+	fromCSR := map[[2]VID]int{}
+	for d := 0; d < csr.NumDst; d++ {
+		for _, s := range csr.Neighbors(VID(d)) {
+			fromCSR[[2]VID{s, VID(d)}]++
+		}
+	}
+	for s := 0; s < csc.NumSrc; s++ {
+		for _, d := range csc.Neighbors(VID(s)) {
+			fromCSR[[2]VID{VID(s), d}]--
+		}
+	}
+	for k, v := range fromCSR {
+		if v != 0 {
+			t.Fatalf("edge %v imbalance %d", k, v)
+		}
+	}
+}
+
+func TestBCOOToBCSCMatchesBCOOToBCSRThenTranspose(t *testing.T) {
+	coo := randomBCOO(3, 12, 20, 4)
+	csc1, _ := BCOOToBCSC(coo)
+	csr, _ := BCOOToBCSR(coo)
+	csc2 := BCSRToBCSC(csr)
+	neigh := func(c *BCSC, s int) []VID { return sortVID(c.Neighbors(VID(s))) }
+	for s := 0; s < coo.NumSrc; s++ {
+		a, b := neigh(csc1, s), neigh(csc2, s)
+		if len(a) != len(b) {
+			t.Fatalf("src %d: %d vs %d out-neighbors", s, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("src %d neighbor %d mismatch", s, i)
+			}
+		}
+	}
+}
+
+func sortVID(v []VID) []VID {
+	out := append([]VID(nil), v...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestBCSRToBCOORoundTrip(t *testing.T) {
+	coo := randomBCOO(4, 10, 18, 3)
+	csr, _ := BCOOToBCSR(coo)
+	back, _ := BCOOToBCSR(BCSRToBCOO(csr))
+	for d := 0; d < csr.NumDst; d++ {
+		if csr.Degree(VID(d)) != back.Degree(VID(d)) {
+			t.Fatalf("dst %d degree changed on round trip", d)
+		}
+	}
+}
+
+func TestBipartiteValidateRejectsBadSrc(t *testing.T) {
+	bad := &BCSR{NumDst: 1, NumSrc: 2, Ptr: []int32{0, 1}, Srcs: []VID{5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("expected out-of-range src error")
+	}
+}
+
+// Property: round-tripping BCOO -> BCSR -> BCOO preserves the edge multiset.
+func TestQuickBipartiteRoundTrip(t *testing.T) {
+	f := func(seed int64, nDstRaw, nSrcRaw, degRaw uint8) bool {
+		nDst := 1 + int(nDstRaw)%25
+		nSrc := 1 + int(nSrcRaw)%25
+		deg := 1 + int(degRaw)%5
+		coo := randomBCOO(seed, nDst, nSrc, deg)
+		csr, _ := BCOOToBCSR(coo)
+		if csr.Validate() != nil {
+			return false
+		}
+		return csr.NumEdges() == coo.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,171 @@
+package kernels
+
+import (
+	"graphtensor/internal/gpusim"
+	"graphtensor/internal/tensor"
+)
+
+// Dense (combination) kernels: the MLP pieces of §II-A. The combination is
+// deliberately split into Linear (the MatMul the kernel orchestrator
+// rearranges, §V-A Fig 11c) and BiasReLU (σ(·+b), which always runs after
+// aggregation in both placements).
+
+// Linear computes Y = X·W on device, modeling the access pattern of a tiled
+// GEMM: output rows are chunked across SMs; each SM streams its X rows and
+// reuses W out of cache. Weights are model parameters resident on device
+// for the whole training run, so they are not allocated per call.
+func Linear(ctx *Ctx, x *DeviceMatrix, w *tensor.Matrix, label string) (*DeviceMatrix, error) {
+	var out *DeviceMatrix
+	err := ctx.track(PhaseCombination, func() error {
+		var err error
+		out, err = AllocDeviceMatrix(ctx.Dev, x.M.Rows, w.Cols, label)
+		if err != nil {
+			return err
+		}
+		k := ctx.Dev.StartKernel("linear")
+		rowFLOPs := int64(2 * x.M.Cols * w.Cols)
+		wBytes := int64(w.Rows) * int64(w.Cols) * 4
+		runSMsChunked(k, x.M.Rows, func(sm *gpusim.SMContext, lo, hi int) {
+			// Each SM pulls the weight tile once; it stays cached.
+			sm.Read(0x7f000000, wBytes) // weights live in a reserved region
+			for i := lo; i < hi; i++ {
+				sm.Read(x.RowAddr(i), x.RowBytes())
+				xrow := x.M.Row(i)
+				orow := out.M.Row(i)
+				for kk, xv := range xrow {
+					if xv == 0 {
+						continue
+					}
+					wrow := w.Row(kk)
+					for j, wv := range wrow {
+						orow[j] += xv * wv
+					}
+				}
+				sm.AddFLOPs(rowFLOPs)
+				sm.Write(out.RowAddr(i), out.RowBytes())
+			}
+		})
+		k.Finish()
+		return nil
+	})
+	return out, err
+}
+
+// LinearBackward computes dX = dY·Wᵀ and accumulates dW += Xᵀ·dY. It
+// returns dX; dW is written into the caller-owned gradient matrix.
+func LinearBackward(ctx *Ctx, x, dy *DeviceMatrix, w, dw *tensor.Matrix, label string) (*DeviceMatrix, error) {
+	var dx *DeviceMatrix
+	err := ctx.track(PhaseCombination, func() error {
+		var err error
+		dx, err = AllocDeviceMatrix(ctx.Dev, x.M.Rows, w.Rows, label)
+		if err != nil {
+			return err
+		}
+		k := ctx.Dev.StartKernel("linear-bwp-dx")
+		rowFLOPs := int64(2 * w.Rows * w.Cols)
+		wBytes := int64(w.Rows) * int64(w.Cols) * 4
+		runSMsChunked(k, dy.M.Rows, func(sm *gpusim.SMContext, lo, hi int) {
+			sm.Read(0x7f000000, wBytes)
+			for i := lo; i < hi; i++ {
+				sm.Read(dy.RowAddr(i), dy.RowBytes())
+				dyrow := dy.M.Row(i)
+				dxrow := dx.M.Row(i)
+				for r := 0; r < w.Rows; r++ {
+					wrow := w.Row(r)
+					var acc float32
+					for j, dv := range dyrow {
+						acc += dv * wrow[j]
+					}
+					dxrow[r] = acc
+				}
+				sm.AddFLOPs(rowFLOPs)
+				sm.Write(dx.RowAddr(i), dx.RowBytes())
+			}
+		})
+		k.Finish()
+
+		// dW = Xᵀ·dY; accumulate serially per output row of dW to stay
+		// deterministic (the real framework uses a reduction tree).
+		k2 := ctx.Dev.StartKernel("linear-bwp-dw")
+		runSMsChunked(k2, w.Rows, func(sm *gpusim.SMContext, lo, hi int) {
+			for r := lo; r < hi; r++ {
+				dwrow := dw.Row(r)
+				for i := 0; i < x.M.Rows; i++ {
+					xv := x.M.At(i, r)
+					if xv == 0 {
+						continue
+					}
+					sm.Read(dy.RowAddr(i), dy.RowBytes())
+					dyrow := dy.M.Row(i)
+					for j, dv := range dyrow {
+						dwrow[j] += xv * dv
+					}
+				}
+				sm.AddFLOPs(int64(2 * x.M.Rows * w.Cols))
+			}
+		})
+		k2.Finish()
+		return nil
+	})
+	return dx, err
+}
+
+// BiasReLU applies y = max(0, x + b) in place on device and returns the
+// pre-activation copy needed by the backward pass.
+func BiasReLU(ctx *Ctx, x *DeviceMatrix, bias []float32) (pre *tensor.Matrix, err error) {
+	err = ctx.track(PhaseCombination, func() error {
+		k := ctx.Dev.StartKernel("bias-relu")
+		pre = tensor.New(x.M.Rows, x.M.Cols)
+		runSMsChunked(k, x.M.Rows, func(sm *gpusim.SMContext, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sm.Read(x.RowAddr(i), x.RowBytes())
+				row := x.M.Row(i)
+				prow := pre.Row(i)
+				for j := range row {
+					v := row[j] + bias[j]
+					prow[j] = v
+					if v < 0 {
+						v = 0
+					}
+					row[j] = v
+				}
+				sm.AddFLOPs(int64(2 * len(row)))
+				sm.Write(x.RowAddr(i), x.RowBytes())
+			}
+		})
+		k.Finish()
+		return nil
+	})
+	return pre, err
+}
+
+// BiasReLUBackward turns the upstream gradient dY into the pre-activation
+// gradient (dY ⊙ 1[pre>0]) in place and accumulates the bias gradient.
+func BiasReLUBackward(ctx *Ctx, dy *DeviceMatrix, pre *tensor.Matrix, dBias []float32) error {
+	return ctx.track(PhaseCombination, func() error {
+		k := ctx.Dev.StartKernel("bias-relu-bwp")
+		// Bias gradient reduction is serialized per column chunk.
+		runSMsChunked(k, dy.M.Rows, func(sm *gpusim.SMContext, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sm.Read(dy.RowAddr(i), dy.RowBytes())
+				row := dy.M.Row(i)
+				prow := pre.Row(i)
+				for j := range row {
+					if prow[j] <= 0 {
+						row[j] = 0
+					}
+				}
+				sm.AddFLOPs(int64(len(row)))
+				sm.Write(dy.RowAddr(i), dy.RowBytes())
+			}
+		})
+		k.Finish()
+		for i := 0; i < dy.M.Rows; i++ {
+			row := dy.M.Row(i)
+			for j, v := range row {
+				dBias[j] += v
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,106 @@
+package kernels
+
+import "graphtensor/internal/graph"
+
+// FusedMM reproduces the FusedMM idea (§VII [23]): a single kernel that
+// fuses the SDDMM (edge weighting) and SpMM (aggregation) so per-edge
+// weights are consumed the instant they are produced, never written to
+// global memory. FusedMM targets CPUs; NAPA already fuses the two on the
+// GPU schedule (see NAPA.Forward). This strategy exists to let the
+// benchmark harness measure the global-memory traffic a *non-fused* NAPA
+// (materializing the weight matrix) would pay versus the fused one — the
+// design-space point the paper's related-work discussion raises.
+//
+// Unlike NAPA.Forward (which fuses), Unfused materializes the edge-weight
+// matrix between NeighborApply and Pull, so its global stores/loads include
+// the weight traffic. Both produce identical results.
+type Unfused struct{}
+
+// Name implements Strategy.
+func (Unfused) Name() string { return "NAPA-unfused" }
+
+// Forward implements Strategy: NeighborApply writes the weight matrix to
+// global memory, then Pull reads it back (the non-fused schedule).
+func (Unfused) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*DeviceMatrix, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	csr, err := ctx.ensureCSR(g)
+	if err != nil {
+		return nil, err
+	}
+	wMat, err := NeighborApplyKernel(ctx, csr, x, m)
+	if err != nil {
+		return nil, err
+	}
+	out, err := PullKernel(ctx, csr, x, wMat, m)
+	if err != nil {
+		return nil, err
+	}
+	wMat.Free()
+	return out, nil
+}
+
+// Backward implements Strategy by delegating to NAPA (the backward pass is
+// identical; only the forward differs in whether weights are materialized).
+func (Unfused) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Modes) (*DeviceMatrix, error) {
+	return NAPA{}.Backward(ctx, g, x, dOut, m)
+}
+
+// FusedCPU runs the SDDMM+SpMM fusion on a single core with no SM
+// simulation — the CPU execution model FusedMM actually targets. It serves
+// as the CPU baseline point; it returns the same result as NAPA.Forward but
+// performs no parallel SM scheduling and records no cache traffic (a CPU
+// has a very different memory hierarchy). Returns the result and the FLOPs.
+func FusedCPU(csr *graph.BCSR, x *MatrixView, m Modes) (out *MatrixView, flops int64) {
+	dim := x.Cols
+	out = newMatrixView(csr.NumDst, dim)
+	w := make([]float32, maxIntK(m.WeightCols(dim), 1))
+	msg := make([]float32, dim)
+	invDeg := make([]float32, csr.NumDst)
+	for d := 0; d < csr.NumDst; d++ {
+		if deg := csr.Degree(graph.VID(d)); deg > 0 {
+			invDeg[d] = 1 / float32(deg)
+		}
+	}
+	for d := 0; d < csr.NumDst; d++ {
+		orow := out.Row(d)
+		scale := float32(1)
+		if m.F == AggrMean {
+			scale = invDeg[d]
+		}
+		dstRow := x.Row(d)
+		for _, s := range csr.Neighbors(graph.VID(d)) {
+			srcRow := x.Row(int(s))
+			var wv []float32
+			if m.HasEdgeWeight() {
+				flops += m.edgeWeight(srcRow, dstRow, w)
+				wv = w[:m.WeightCols(dim)]
+			}
+			flops += m.message(srcRow, wv, msg)
+			for j := range orow {
+				orow[j] += msg[j] * scale
+			}
+			flops += int64(2 * dim)
+		}
+	}
+	return out, flops
+}
+
+// MatrixView is a thin host matrix for the CPU fused path (no device).
+type MatrixView struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+func newMatrixView(rows, cols int) *MatrixView {
+	return &MatrixView{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns row i.
+func (m *MatrixView) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// ViewFromMatrix wraps an existing host matrix's storage as a MatrixView.
+func ViewFromMatrix(rows, cols int, data []float32) *MatrixView {
+	return &MatrixView{Rows: rows, Cols: cols, Data: data}
+}

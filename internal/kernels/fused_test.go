@@ -1,0 +1,78 @@
+package kernels
+
+import (
+	"testing"
+
+	"graphtensor/internal/gpusim"
+	"graphtensor/internal/tensor"
+)
+
+func TestUnfusedMatchesNAPA(t *testing.T) {
+	rng := tensor.NewRNG(303)
+	for _, m := range allModes {
+		csr := randomBipartite(14, 24, 4, rng)
+		x := tensor.Random(24, 8, 1, rng)
+		dev := testDevice()
+		ctx := NewCtx(dev)
+		xd, _ := WrapDeviceMatrix(dev, x.Clone(), "x")
+		fused, err := NAPA{}.Forward(ctx, &Graphs{CSR: csr}, xd, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev2 := testDevice()
+		ctx2 := NewCtx(dev2)
+		xd2, _ := WrapDeviceMatrix(dev2, x.Clone(), "x")
+		unfused, err := Unfused{}.Forward(ctx2, &Graphs{CSR: csr}, xd2, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := fused.M.MaxAbsDiff(unfused.M); diff > 1e-6 {
+			t.Errorf("modes %v: fused vs unfused differ by %g", m, diff)
+		}
+	}
+}
+
+func TestFusedReducesGlobalStores(t *testing.T) {
+	rng := tensor.NewRNG(404)
+	csr := randomBipartite(40, 70, 6, rng)
+	x := tensor.Random(70, 16, 1, rng)
+	m := NGCFModes()
+
+	stores := func(s Strategy) int64 {
+		dev := gpusim.NewDevice(gpusim.DefaultConfig())
+		ctx := NewCtx(dev)
+		xd, _ := WrapDeviceMatrix(dev, x.Clone(), "x")
+		before := dev.Snapshot()
+		out, _ := s.Forward(ctx, &Graphs{CSR: csr}, xd, m)
+		out.Free()
+		return dev.Snapshot().Sub(before).GlobalStores
+	}
+	if stores(NAPA{}) >= stores(Unfused{}) {
+		t.Error("fused NAPA should store fewer bytes than unfused")
+	}
+}
+
+func TestFusedCPUMatchesReference(t *testing.T) {
+	rng := tensor.NewRNG(505)
+	for _, m := range allModes {
+		csr := randomBipartite(10, 18, 4, rng)
+		x := tensor.Random(18, 6, 1, rng)
+		want := refForward(csr, x, m)
+		view := ViewFromMatrix(x.Rows, x.Cols, x.Data)
+		got, flops := FusedCPU(csr, view, m)
+		if flops <= 0 {
+			t.Error("FusedCPU reported no FLOPs")
+		}
+		for i := 0; i < want.Rows; i++ {
+			for j := 0; j < want.Cols; j++ {
+				d := got.Row(i)[j] - want.At(i, j)
+				if d < 0 {
+					d = -d
+				}
+				if d > 2e-5 {
+					t.Fatalf("modes %v: FusedCPU[%d][%d] off by %g", m, i, j, d)
+				}
+			}
+		}
+	}
+}

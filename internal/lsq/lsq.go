@@ -1,0 +1,111 @@
+// Package lsq provides the least-squares estimation the DKP cost model
+// uses to fit its coefficient parameters from measured kernel execution
+// times (§V-A, [26]): solve min ‖A·x − b‖₂ via the normal equations.
+package lsq
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when the normal equations are (numerically)
+// singular — e.g. when all samples are identical.
+var ErrSingular = errors.New("lsq: singular system")
+
+// Solve returns x minimizing ‖A·x − b‖₂ for an m×n design matrix A (m ≥ n,
+// rows = samples, cols = features) and observation vector b of length m.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	m := len(a)
+	if m == 0 || len(b) != m {
+		return nil, errors.New("lsq: dimension mismatch")
+	}
+	n := len(a[0])
+	for _, row := range a {
+		if len(row) != n {
+			return nil, errors.New("lsq: ragged design matrix")
+		}
+	}
+	// Normal equations: (AᵀA)·x = Aᵀb.
+	ata := make([][]float64, n)
+	atb := make([]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	for r := 0; r < m; r++ {
+		for i := 0; i < n; i++ {
+			atb[i] += a[r][i] * b[r]
+			for j := i; j < n; j++ {
+				ata[i][j] += a[r][i] * a[r][j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			ata[i][j] = ata[j][i]
+		}
+	}
+	return solveDense(ata, atb)
+}
+
+// solveDense solves the square system M·x = v by Gaussian elimination with
+// partial pivoting.
+func solveDense(m [][]float64, v []float64) ([]float64, error) {
+	n := len(m)
+	x := append([]float64(nil), v...)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-300 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		x[col], x[pivot] = x[pivot], x[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	for col := n - 1; col >= 0; col-- {
+		for c := col + 1; c < n; c++ {
+			x[col] -= m[col][c] * x[c]
+		}
+		x[col] /= m[col][col]
+	}
+	return x, nil
+}
+
+// MeanAbsErr returns the mean |A·x − b| / |b| relative error of a fit, the
+// figure the paper reports as its 12.5% cost model accuracy.
+func MeanAbsErr(a [][]float64, b, x []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	var total float64
+	n := 0
+	for r := range a {
+		var pred float64
+		for i, v := range a[r] {
+			pred += v * x[i]
+		}
+		if b[r] != 0 {
+			total += math.Abs(pred-b[r]) / math.Abs(b[r])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

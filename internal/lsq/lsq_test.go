@@ -1,0 +1,71 @@
+package lsq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactFit(t *testing.T) {
+	// y = 2*x0 + 3*x1, exactly solvable.
+	a := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}}
+	b := []float64{2, 3, 5, 7}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("got %v want [2 3]", x)
+	}
+}
+
+func TestOverdeterminedLeastSquares(t *testing.T) {
+	// Fit y = m*x through noisy points; slope should be ~2.
+	a := [][]float64{{1}, {2}, {3}, {4}}
+	b := []float64{2.1, 3.9, 6.1, 7.9}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 0.1 {
+		t.Errorf("slope %g not near 2", x[0])
+	}
+	if e := MeanAbsErr(a, b, x); e > 0.05 {
+		t.Errorf("fit error %g too high", e)
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	// Two identical columns -> singular normal equations.
+	a := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	b := []float64{1, 2, 3}
+	_, err := Solve(a, b)
+	if err != ErrSingular {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	_, err := Solve([][]float64{{1}}, []float64{1, 2})
+	if err == nil {
+		t.Error("expected dimension error")
+	}
+}
+
+// Property: for an exactly-determined consistent system, Solve recovers the
+// coefficients.
+func TestQuickExactRecovery(t *testing.T) {
+	f := func(c0i, c1i int16) bool {
+		c0, c1 := float64(c0i)/100, float64(c1i)/100
+		a := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+		b := []float64{c0, c1, c0 + c1}
+		x, err := Solve(a, b)
+		if err != nil {
+			return true // singular edge cases acceptable
+		}
+		return math.Abs(x[0]-c0) < 1e-6 && math.Abs(x[1]-c1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

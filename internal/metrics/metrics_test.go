@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestBreakdownFractions(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("a", 30*time.Millisecond)
+	b.Add("b", 10*time.Millisecond)
+	b.Add("a", 10*time.Millisecond) // a now 40
+	fr := b.Fractions()
+	if math.Abs(fr["a"]-0.8) > 1e-9 {
+		t.Errorf("a fraction %g want 0.8", fr["a"])
+	}
+	if b.Total() != 50*time.Millisecond {
+		t.Errorf("total %v", b.Total())
+	}
+}
+
+func TestBreakdownOrder(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("z", time.Second)
+	b.Add("a", time.Second)
+	names := b.Names()
+	if names[0] != "z" || names[1] != "a" {
+		t.Errorf("order not first-added: %v", names)
+	}
+}
+
+func TestTimelineCompletion(t *testing.T) {
+	tl := NewTimeline()
+	tl.Record("task", 1, 10)
+	time.Sleep(time.Millisecond)
+	tl.Record("task", 10, 10)
+	comp := tl.Completion()
+	if comp["task"] == 0 {
+		t.Error("completion time not recorded")
+	}
+	events := tl.Events()
+	if len(events) != 2 {
+		t.Fatalf("expected 2 events, got %d", len(events))
+	}
+	if events[0].Elapsed > events[1].Elapsed {
+		t.Error("events not sorted by elapsed time")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("geomean(1,4)=%g want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("geomean of empty should be 0")
+	}
+	// Zeros are skipped.
+	if math.Abs(GeoMean([]float64{0, 2, 8})-4) > 1e-9 {
+		t.Errorf("geomean skipping zero wrong: %g", GeoMean([]float64{0, 2, 8}))
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	s := []Series{
+		{Label: "A", Points: []Point{{X: "x", Value: 1}, {X: "y", Value: 2}}},
+		{Label: "B", Points: []Point{{X: "x", Value: 3}, {X: "y", Value: 4}}},
+	}
+	out := FormatTable("test", s)
+	if len(out) == 0 {
+		t.Error("empty table output")
+	}
+}

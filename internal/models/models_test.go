@@ -1,0 +1,68 @@
+package models
+
+import (
+	"testing"
+
+	"graphtensor/internal/kernels"
+)
+
+func TestAllModelsBuild(t *testing.T) {
+	p := Params{InDim: 16, Hidden: 8, OutDim: 3, Layers: 2, Seed: 1}
+	for _, name := range Names() {
+		m, err := ByName(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(m.Layers) != 2 {
+			t.Errorf("%s: %d layers, want 2", name, len(m.Layers))
+		}
+		// Last layer emits logits (no activation), width OutDim.
+		last := m.Layers[len(m.Layers)-1]
+		if last.Spec.Activation {
+			t.Errorf("%s: final layer should not activate", name)
+		}
+		if last.Spec.OutDim != 3 {
+			t.Errorf("%s: final out dim %d want 3", name, last.Spec.OutDim)
+		}
+	}
+}
+
+func TestModelDimChaining(t *testing.T) {
+	p := Params{InDim: 20, Hidden: 12, OutDim: 4, Layers: 3, Seed: 2}
+	m, err := GCN(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(m.Layers); i++ {
+		if m.Layers[i].Spec.InDim != m.Layers[i-1].Spec.OutDim {
+			t.Errorf("layer %d input %d != prev output %d", i, m.Layers[i].Spec.InDim, m.Layers[i-1].Spec.OutDim)
+		}
+	}
+}
+
+func TestModelModes(t *testing.T) {
+	p := Params{InDim: 8, Hidden: 8, OutDim: 2, Layers: 2, Seed: 3}
+	gcn, _ := GCN(p)
+	if gcn.Layers[0].Spec.Modes.HasEdgeWeight() {
+		t.Error("GCN should not weight edges")
+	}
+	ngcf, _ := NGCF(p)
+	if !ngcf.Layers[0].Spec.Modes.HasEdgeWeight() {
+		t.Error("NGCF should weight edges")
+	}
+	if ngcf.Layers[0].Spec.Modes.G != kernels.WeightElemProduct {
+		t.Error("NGCF g should be element-wise product")
+	}
+}
+
+func TestUnknownModel(t *testing.T) {
+	if _, err := ByName("nope", Params{InDim: 8, Hidden: 8, OutDim: 2, Layers: 2}); err == nil {
+		t.Error("expected error for unknown model")
+	}
+}
+
+func TestInvalidDims(t *testing.T) {
+	if _, err := GCN(Params{InDim: 0, Hidden: 8, OutDim: 2, Layers: 2}); err == nil {
+		t.Error("expected error for zero input dim")
+	}
+}

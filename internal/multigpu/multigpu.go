@@ -1,0 +1,173 @@
+// Package multigpu reproduces the multi-GPU load-balancing design point of
+// ROC (§VII [19]): a sampled subgraph's destination vertices are
+// partitioned across N simulated GPUs so each device holds a roughly equal
+// share of the *edges* (not vertices), balancing the SpMM workload. Each
+// device runs the NAPA forward on its partition independently; the package
+// reports the load-balance quality and the per-device work.
+//
+// ROC uses CSR only for this cross-GPU balancing, not for thread
+// scheduling, so it still pays format translation on each device — a point
+// the harness can measure by comparing the partitioned edge-wise
+// (Graph-approach) path against the partitioned NAPA path.
+package multigpu
+
+import (
+	"sort"
+	"sync"
+
+	"graphtensor/internal/gpusim"
+	"graphtensor/internal/graph"
+	"graphtensor/internal/kernels"
+	"graphtensor/internal/tensor"
+)
+
+// Partition is one GPU's share of the dst vertices and its local subgraph.
+type Partition struct {
+	Device *gpusim.Device
+	// DstIDs are the original (pre-partition) dst VIDs assigned here.
+	DstIDs []graph.VID
+	// Local is the induced bipartite subgraph on those dsts (src space is
+	// shared — every device can read any src embedding).
+	Local *graph.BCSR
+	Edges int
+}
+
+// Plan is a balanced assignment of a subgraph across N devices.
+type Plan struct {
+	Partitions []Partition
+	// Imbalance is maxEdges/meanEdges across partitions (1.0 = perfect).
+	Imbalance float64
+}
+
+// BalanceByEdges partitions csr's dst vertices across nGPU devices so each
+// device holds a near-equal edge count, using longest-processing-time-first
+// greedy bin packing (dsts sorted by degree, each assigned to the currently
+// lightest device). This is ROC's balanced-SpMM heuristic.
+func BalanceByEdges(csr *graph.BCSR, nGPU int, cfg gpusim.Config) *Plan {
+	if nGPU < 1 {
+		nGPU = 1
+	}
+	type dstDeg struct {
+		d   graph.VID
+		deg int
+	}
+	order := make([]dstDeg, csr.NumDst)
+	for d := 0; d < csr.NumDst; d++ {
+		order[d] = dstDeg{graph.VID(d), csr.Degree(graph.VID(d))}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].deg > order[j].deg })
+
+	loads := make([]int, nGPU)
+	assign := make([][]graph.VID, nGPU)
+	for _, dd := range order {
+		// Pick the lightest device.
+		min := 0
+		for g := 1; g < nGPU; g++ {
+			if loads[g] < loads[min] {
+				min = g
+			}
+		}
+		assign[min] = append(assign[min], dd.d)
+		loads[min] += dd.deg
+	}
+
+	plan := &Plan{Partitions: make([]Partition, nGPU)}
+	totalEdges := 0
+	maxEdges := 0
+	for g := 0; g < nGPU; g++ {
+		sort.Slice(assign[g], func(i, j int) bool { return assign[g][i] < assign[g][j] })
+		local := inducedSubgraph(csr, assign[g])
+		plan.Partitions[g] = Partition{
+			Device: gpusim.NewDevice(cfg),
+			DstIDs: assign[g],
+			Local:  local,
+			Edges:  local.NumEdges(),
+		}
+		totalEdges += local.NumEdges()
+		if local.NumEdges() > maxEdges {
+			maxEdges = local.NumEdges()
+		}
+	}
+	if totalEdges > 0 {
+		plan.Imbalance = float64(maxEdges) / (float64(totalEdges) / float64(nGPU))
+	}
+	return plan
+}
+
+// inducedSubgraph builds the bipartite CSR holding only the assigned dsts'
+// edges. Dst and src IDs keep their GLOBAL numbering (dsts and srcs share
+// the batch embedding table, so renumbering would break embedding lookup);
+// unassigned dsts simply have empty rows. The local NAPA forward therefore
+// computes correct rows for the assigned dsts and zero rows elsewhere.
+func inducedSubgraph(csr *graph.BCSR, dsts []graph.VID) *graph.BCSR {
+	coo := &graph.BCOO{NumDst: csr.NumDst, NumSrc: csr.NumSrc}
+	for _, origD := range dsts {
+		for _, s := range csr.Neighbors(origD) {
+			coo.Src = append(coo.Src, s)
+			coo.Dst = append(coo.Dst, origD)
+		}
+	}
+	out, _ := graph.BCOOToBCSR(coo)
+	return out
+}
+
+// ForwardResult holds per-device NAPA outputs reassembled into the global
+// dst ordering.
+type ForwardResult struct {
+	// Out[d] is the aggregation for original dst d.
+	Out *tensor.Matrix
+	// PerDeviceFLOPs[g] is device g's FLOP count.
+	PerDeviceFLOPs []int64
+}
+
+// Forward runs NAPA.Forward on every partition concurrently and reassembles
+// the results into a single matrix indexed by the original dst VID.
+func (p *Plan) Forward(x *tensor.Matrix, m kernels.Modes) (*ForwardResult, error) {
+	nGPU := len(p.Partitions)
+	res := &ForwardResult{Out: tensor.New(totalDsts(p), x.Cols), PerDeviceFLOPs: make([]int64, nGPU)}
+	var wg sync.WaitGroup
+	errs := make([]error, nGPU)
+	for g := 0; g < nGPU; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			part := p.Partitions[g]
+			ctx := kernels.NewCtx(part.Device)
+			xd, err := kernels.WrapDeviceMatrix(part.Device, x.Clone(), "x")
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			before := part.Device.Snapshot()
+			out, err := kernels.NAPA{}.Forward(ctx, &kernels.Graphs{CSR: part.Local}, xd, m)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			res.PerDeviceFLOPs[g] = part.Device.Snapshot().Sub(before).FLOPs
+			// Local dst IDs are global; copy only the assigned rows.
+			for _, origD := range part.DstIDs {
+				copy(res.Out.Row(int(origD)), out.M.Row(int(origD)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return res, nil
+}
+
+func totalDsts(p *Plan) int {
+	n := 0
+	for _, part := range p.Partitions {
+		for _, d := range part.DstIDs {
+			if int(d)+1 > n {
+				n = int(d) + 1
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package multigpu
+
+import (
+	"testing"
+
+	"graphtensor/internal/gpusim"
+	"graphtensor/internal/graph"
+	"graphtensor/internal/kernels"
+	"graphtensor/internal/tensor"
+)
+
+func randomBCSR(seed int64, nDst, nSrc, maxDeg int) *graph.BCSR {
+	r := uint64(seed)*2862933555777941757 + 7
+	next := func(mod int) int {
+		r = r*6364136223846793005 + 1442695040888963407
+		return int((r >> 33) % uint64(mod))
+	}
+	coo := &graph.BCOO{NumDst: nDst, NumSrc: nSrc}
+	for d := 0; d < nDst; d++ {
+		deg := 1 + next(maxDeg)
+		for i := 0; i < deg; i++ {
+			coo.Src = append(coo.Src, graph.VID(next(nSrc)))
+			coo.Dst = append(coo.Dst, graph.VID(d))
+		}
+	}
+	csr, _ := graph.BCOOToBCSR(coo)
+	return csr
+}
+
+func testCfg() gpusim.Config {
+	c := gpusim.DefaultConfig()
+	c.NumSMs = 8
+	return c
+}
+
+func TestBalanceDistributesEdges(t *testing.T) {
+	csr := randomBCSR(1, 100, 150, 8)
+	plan := BalanceByEdges(csr, 4, testCfg())
+	if len(plan.Partitions) != 4 {
+		t.Fatalf("%d partitions, want 4", len(plan.Partitions))
+	}
+	total := 0
+	for _, p := range plan.Partitions {
+		total += p.Edges
+	}
+	if total != csr.NumEdges() {
+		t.Errorf("partitioned edges %d != total %d", total, csr.NumEdges())
+	}
+	// Greedy LPT should keep imbalance modest.
+	if plan.Imbalance > 1.5 {
+		t.Errorf("imbalance %.2f too high", plan.Imbalance)
+	}
+}
+
+func TestEveryDstAssignedOnce(t *testing.T) {
+	csr := randomBCSR(2, 60, 90, 6)
+	plan := BalanceByEdges(csr, 3, testCfg())
+	seen := map[graph.VID]int{}
+	for _, p := range plan.Partitions {
+		for _, d := range p.DstIDs {
+			seen[d]++
+		}
+	}
+	for d := graph.VID(0); d < 60; d++ {
+		if seen[d] != 1 {
+			t.Errorf("dst %d assigned %d times", d, seen[d])
+		}
+	}
+}
+
+func TestMultiGPUForwardMatchesSingle(t *testing.T) {
+	csr := randomBCSR(3, 50, 80, 6)
+	x := tensor.Random(80, 8, 1, tensor.NewRNG(3))
+	m := kernels.NGCFModes()
+
+	// Single-device reference.
+	dev := gpusim.NewDevice(testCfg())
+	ctx := kernels.NewCtx(dev)
+	xd, _ := kernels.WrapDeviceMatrix(dev, x.Clone(), "x")
+	ref, err := kernels.NAPA{}.Forward(ctx, &kernels.Graphs{CSR: csr}, xd, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, nGPU := range []int{1, 2, 4} {
+		plan := BalanceByEdges(csr, nGPU, testCfg())
+		res, err := plan.Forward(x, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := res.Out.MaxAbsDiff(ref.M); diff > 2e-5 {
+			t.Errorf("nGPU=%d: partitioned output differs by %g", nGPU, diff)
+		}
+	}
+}
+
+func TestMoreGPUsLowerPerDeviceWork(t *testing.T) {
+	csr := randomBCSR(4, 200, 300, 10)
+	x := tensor.Random(300, 16, 1, tensor.NewRNG(4))
+	m := kernels.GCNModes()
+
+	maxFLOPs := func(nGPU int) int64 {
+		plan := BalanceByEdges(csr, nGPU, testCfg())
+		res, err := plan.Forward(x, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mx int64
+		for _, f := range res.PerDeviceFLOPs {
+			if f > mx {
+				mx = f
+			}
+		}
+		return mx
+	}
+	one := maxFLOPs(1)
+	four := maxFLOPs(4)
+	if four >= one {
+		t.Errorf("4-GPU peak device FLOPs %d should be below 1-GPU %d", four, one)
+	}
+}

@@ -1,0 +1,335 @@
+// Package pipeline implements GraphTensor's service-wide tensor scheduler
+// (§V-B): the preprocessing pipeline that splits neighbor sampling (S),
+// graph reindexing (R), embedding lookup (K) and host→device transfer (T)
+// into per-layer, per-data-type subtasks and executes them with maximum
+// parallelism under their true dependencies:
+//
+//   - S subtasks chain hop-by-hop (S for hop t needs hop t-1's frontier),
+//     with the algorithm part (A) parallelized across workers and the hash
+//     table update part (H) serialized to relax lock contention (Fig 14c).
+//   - R and K subtasks for hop t start as soon as S_t completes and run
+//     concurrently with the sampling of later hops — they touch different
+//     data types (subgraphs vs embeddings), so they share no locks.
+//   - T subtasks wait on a barrier for the final S (device allocation needs
+//     the total vertex count), then stream: each embedding chunk gathered
+//     by K transfers as soon as it is ready, from page-locked buffers, in
+//     a pipelined manner (Fig 14b).
+//
+// The package also provides the baseline disciplines the paper compares
+// against: the fully serial chain, the multi-threaded-sampling variant,
+// and a SALIENT-style pinned-memory overlap preprocessor.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"graphtensor/internal/gpusim"
+	"graphtensor/internal/graph"
+	"graphtensor/internal/metrics"
+	"graphtensor/internal/prep"
+	"graphtensor/internal/sampling"
+)
+
+// Config parameterizes the service-wide tensor scheduler.
+type Config struct {
+	Sampler sampling.Config
+	Format  prep.Format
+	// Pinned uses page-locked staging for T (GraphTensor always does).
+	Pinned bool
+	// ChunkVertices is the K→T pipelining granularity.
+	ChunkVertices int
+	// RelaxContention enables the A/H split and S/R serialization against
+	// the hash table (Fig 14c). Disabling it reproduces the contended
+	// discipline of Fig 14a.
+	RelaxContention bool
+	// Workers bounds the scheduler's concurrent subtasks (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the scheduler configuration GraphTensor ships.
+func DefaultConfig() Config {
+	return Config{
+		Sampler:         sampling.DefaultConfig(),
+		Format:          prep.FormatCSRCSC,
+		Pinned:          true,
+		ChunkVertices:   512,
+		RelaxContention: true,
+	}
+}
+
+// Scheduler prepares training batches with pipelined preprocessing.
+type Scheduler struct {
+	cfg      Config
+	full     *graph.CSR
+	features *graph.EmbeddingTable
+	labels   []int32
+	dev      *gpusim.Device
+}
+
+// NewScheduler builds a scheduler over a dataset's full graph and features.
+func NewScheduler(full *graph.CSR, features *graph.EmbeddingTable, labels []int32,
+	dev *gpusim.Device, cfg Config) *Scheduler {
+	if cfg.ChunkVertices <= 0 {
+		cfg.ChunkVertices = 512
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if !cfg.RelaxContention {
+		cfg.Sampler.Mode = sampling.ModeShared
+	}
+	return &Scheduler{cfg: cfg, full: full, features: features, labels: labels, dev: dev}
+}
+
+// Prepare runs the pipelined preprocessing for one batch. The optional
+// timeline receives progress events (Fig 20); pass nil to skip recording.
+func (s *Scheduler) Prepare(batchDsts []graph.VID, tl *metrics.Timeline) (*prep.Batch, error) {
+	bd := metrics.NewBreakdown()
+	L := s.cfg.Sampler.Layers
+	sampler := sampling.New(s.full, s.cfg.Sampler)
+
+	// Shared state between subtasks.
+	var (
+		layers   = make([]prep.LayerData, L)
+		chunksMu sync.Mutex
+		chunks   []embedChunk
+		errMu    sync.Mutex
+		firstErr error
+		setErr   = func(err error) {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+	)
+
+	// Dependency signals.
+	hopDone := make([]chan struct{}, L) // S_t completion
+	for i := range hopDone {
+		hopDone[i] = make(chan struct{})
+	}
+	allSampled := hopDone[L-1] // the T barrier (§V-B: wait for the last S)
+
+	run := sampler.Begin(batchDsts)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.cfg.Workers)
+
+	// --- S chain: hop-by-hop sampling on the scheduler goroutine; R and K
+	// subtasks spawn the moment their hop is available.
+	record := func(task string, done, total int) {
+		if tl != nil {
+			tl.Record(task, done, total)
+		}
+	}
+	go func() {
+		totalHops := L
+		for t := 0; t < totalHops; t++ {
+			st := time.Now()
+			hop := run.Step()
+			bd.Add("sample", time.Since(st))
+			record("sample", run.Result().FrontierSizes[t+1], -1)
+			res := run.Result()
+
+			// R_t: reindex + format build for the GNN layer this hop feeds.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				st := time.Now()
+				coo, err := prep.ReindexCOO(hop, res.Table)
+				if err != nil {
+					setErr(err)
+					return
+				}
+				// Hop t (0-based) is processed by GNN layer L-t (1-based),
+				// i.e. layers[L-1-t].
+				layers[L-1-t] = prep.BuildLayer(coo, s.cfg.Format)
+				bd.Add("reindex", time.Since(st))
+				record("reindex", hop.NumSrc, -1)
+			}()
+
+			// K_t: gather the embeddings of the vertices this hop added,
+			// in pipeline chunks.
+			lo := res.FrontierSizes[t]
+			hi := res.FrontierSizes[t+1]
+			if t == 0 {
+				lo = 0 // include the batch vertices themselves
+			}
+			origs := res.Table.OrigVIDs()
+			for c := lo; c < hi; c += s.cfg.ChunkVertices {
+				cLo, cHi := c, c+s.cfg.ChunkVertices
+				if cHi > hi {
+					cHi = hi
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sem <- struct{}{}
+					defer func() { <-sem }()
+					st := time.Now()
+					buf := graph.NewEmbeddingTable(cHi-cLo, s.features.Dim)
+					for i := cLo; i < cHi; i++ {
+						copy(buf.Data.Row(i-cLo), s.features.Row(origs[i]))
+					}
+					bd.Add("lookup", time.Since(st))
+					record("lookup", cHi-cLo, -1)
+					chunksMu.Lock()
+					chunks = append(chunks, embedChunk{lo: cLo, hi: cHi, data: buf})
+					chunksMu.Unlock()
+				}()
+			}
+			close(hopDone[t])
+		}
+	}()
+
+	// --- T: barrier on the final S, then allocate device memory and
+	// stream the chunks (pinned) plus the graph structures.
+	<-allSampled
+	res := run.Result()
+	nTotal := res.NumVertices()
+
+	st := time.Now()
+	embed := graph.NewEmbeddingTable(nTotal, s.features.Dim)
+	ebuf, err := s.dev.Alloc(embed.Bytes(), "batch-embeddings")
+	if err != nil {
+		wg.Wait()
+		return nil, err
+	}
+	bd.Add("transfer", time.Since(st))
+
+	// Stream chunks as they land; the K subtasks keep producing while we
+	// transfer (Fig 14b overlap). A single throttle accrues the modeled
+	// link time across chunks, so the scheduler only pays the aggregate
+	// transfer latency once — and pays it while K keeps producing.
+	pcie := s.dev.PCIe()
+	var link prep.LinkThrottle
+	transferred := 0
+	wantVertices := nTotal
+	for transferred < wantVertices {
+		chunksMu.Lock()
+		pending := chunks
+		chunks = nil
+		chunksMu.Unlock()
+		if len(pending) == 0 {
+			errMu.Lock()
+			failed := firstErr != nil
+			errMu.Unlock()
+			if failed {
+				break
+			}
+			runtime.Gosched()
+			continue
+		}
+		for _, ch := range pending {
+			st := time.Now()
+			d := pcie.Transfer(embed.Data.Data[ch.lo*s.features.Dim:ch.hi*s.features.Dim], ch.data.Data.Data, s.cfg.Pinned)
+			link.Pay(d)
+			bd.Add("transfer", time.Since(st))
+			transferred += ch.hi - ch.lo
+			record("transfer", transferred, wantVertices)
+		}
+	}
+
+	wg.Wait()
+	if firstErr != nil {
+		ebuf.Free()
+		return nil, firstErr
+	}
+
+	// Graph structures transfer after the R subtasks complete.
+	st = time.Now()
+	gBytes := prep.GraphBytes(layers)
+	gbuf, err := s.dev.Alloc(gBytes, "batch-graphs")
+	if err != nil {
+		ebuf.Free()
+		return nil, err
+	}
+	link.Pay(pcie.TransferBytes(gBytes, s.cfg.Pinned))
+	link.Flush()
+	bd.Add("transfer", time.Since(st))
+	record("transfer", wantVertices, wantVertices)
+
+	batch := &prep.Batch{
+		Sample:        res,
+		Layers:        layers,
+		Embed:         embed,
+		Breakdown:     bd,
+		DeviceBuffers: []*gpusim.Buffer{ebuf, gbuf},
+	}
+	if s.labels != nil {
+		batch.Labels = make([]int32, len(res.Batch))
+		for i, orig := range res.Batch {
+			batch.Labels[i] = s.labels[orig]
+		}
+	}
+	return batch, nil
+}
+
+type embedChunk struct {
+	lo, hi int
+	data   *graph.EmbeddingTable
+}
+
+// Serial runs the fully serialized baseline chain (S → R → K → T) used by
+// the existing frameworks (Fig 12a). workers controls sampling threads: 1
+// reproduces PyG's single-threaded sampler, GOMAXPROCS the multi-threaded
+// variants.
+func Serial(full *graph.CSR, features *graph.EmbeddingTable, labels []int32,
+	dev *gpusim.Device, batchDsts []graph.VID, samplerCfg sampling.Config,
+	format prep.Format, pinned bool) (*prep.Batch, error) {
+	sampler := sampling.New(full, samplerCfg)
+	return prep.Serial(sampler, features, labels, dev, batchDsts, prep.Config{Format: format, Pinned: pinned})
+}
+
+// Prefetcher overlaps the preprocessing of batch n+1 with the GPU compute
+// of batch n — the standard deep-learning-framework overlap that DGL,
+// SALIENT and GraphTensor all apply (§V-B last paragraph). Produce batches
+// by calling Next with the dst vertices of the upcoming batch.
+type Prefetcher struct {
+	prepare func([]graph.VID) (*prep.Batch, error)
+	next    chan prefetchResult
+	started bool
+}
+
+type prefetchResult struct {
+	batch *prep.Batch
+	err   error
+}
+
+// NewPrefetcher wraps a preparation function.
+func NewPrefetcher(prepare func([]graph.VID) (*prep.Batch, error)) *Prefetcher {
+	return &Prefetcher{prepare: prepare, next: make(chan prefetchResult, 1)}
+}
+
+// Next returns the batch for dsts, kicking off the preparation of
+// nextDsts in the background (nil to stop prefetching).
+func (p *Prefetcher) Next(dsts, nextDsts []graph.VID) (*prep.Batch, error) {
+	var res prefetchResult
+	if p.started {
+		res = <-p.next
+	} else {
+		b, err := p.prepare(dsts)
+		res = prefetchResult{batch: b, err: err}
+	}
+	if nextDsts != nil {
+		p.started = true
+		go func() {
+			b, err := p.prepare(nextDsts)
+			p.next <- prefetchResult{batch: b, err: err}
+		}()
+	} else {
+		p.started = false
+	}
+	return res.batch, res.err
+}
+
+// String describes the scheduler configuration.
+func (s *Scheduler) String() string {
+	return fmt.Sprintf("pipeline.Scheduler{layers=%d fanout=%d format=%v pinned=%v chunk=%d relaxed=%v}",
+		s.cfg.Sampler.Layers, s.cfg.Sampler.Fanout, s.cfg.Format, s.cfg.Pinned, s.cfg.ChunkVertices, s.cfg.RelaxContention)
+}

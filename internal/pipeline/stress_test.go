@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"testing"
+
+	"graphtensor/internal/datasets"
+	"graphtensor/internal/gpusim"
+	"graphtensor/internal/sampling"
+)
+
+// TestSchedulerRepeatableUnderConcurrency: the pipelined scheduler, which
+// runs R/K subtasks on many goroutines, must produce identical embeddings
+// across repeated runs of the same batch despite nondeterministic goroutine
+// interleaving.
+func TestSchedulerRepeatableUnderConcurrency(t *testing.T) {
+	ds, _ := datasets.Generate("reddit2", datasets.TestScale())
+	cfg := DefaultConfig()
+	cfg.ChunkVertices = 16 // many chunks -> more concurrency
+	dsts := ds.BatchDsts(50, 3)
+	var first []float32
+	for i := 0; i < 8; i++ {
+		dev := gpusim.NewDevice(gpusim.DefaultConfig())
+		b, err := NewScheduler(ds.Graph, ds.Features, ds.Labels, dev, cfg).Prepare(dsts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = append([]float32(nil), b.Embed.Data.Data...)
+		} else {
+			for j := range first {
+				if b.Embed.Data.Data[j] != first[j] {
+					t.Fatalf("run %d embedding diverged at %d", i, j)
+				}
+			}
+		}
+		b.Release()
+	}
+}
+
+// TestCostModelMonotone: more edges -> more sample/reindex time; more bytes
+// -> more lookup/transfer time.
+func TestCostModelMonotone(t *testing.T) {
+	cm := DefaultPrepCostModel()
+	small := cm.Model(makeResult(t, "products", 20), 64, true)
+	large := cm.Model(makeResult(t, "products", 200), 64, true)
+	if large.Sample <= small.Sample {
+		t.Error("sample time should grow with batch size")
+	}
+	if cm.Serial(large) <= cm.Serial(small) {
+		t.Error("serial prep time should grow with batch size")
+	}
+}
+
+// TestPipelinedNeverSlowerThanSerial: the modeled pipelined schedule must
+// not exceed the serial one for any dataset.
+func TestPipelinedNeverSlowerThanSerial(t *testing.T) {
+	cm := DefaultPrepCostModel()
+	for _, name := range datasets.Names() {
+		tt := cm.Model(makeResult(t, name, 100), 64, true)
+		if cm.Pipelined(tt) > cm.Serial(tt) {
+			t.Errorf("%s: pipelined %v > serial %v", name, cm.Pipelined(tt), cm.Serial(tt))
+		}
+	}
+}
+
+func makeResult(t *testing.T, name string, batch int) *sampling.Result {
+	t.Helper()
+	ds, err := datasets.Generate(name, datasets.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sampling.New(ds.Graph, sampling.DefaultConfig()).Sample(ds.BatchDsts(batch, 1))
+}

@@ -1,0 +1,104 @@
+package prep
+
+import (
+	"testing"
+
+	"graphtensor/internal/gpusim"
+	"graphtensor/internal/graph"
+	"graphtensor/internal/sampling"
+)
+
+func ring(n, deg int) *graph.CSR {
+	coo := &graph.COO{NumVertices: n}
+	for d := 0; d < n; d++ {
+		for k := 1; k <= deg; k++ {
+			coo.Src = append(coo.Src, graph.VID((d+k)%n))
+			coo.Dst = append(coo.Dst, graph.VID(d))
+		}
+	}
+	csr, _ := graph.COOToCSR(coo)
+	return csr
+}
+
+func TestReindexWithinBounds(t *testing.T) {
+	full := ring(100, 5)
+	res := sampling.New(full, sampling.DefaultConfig()).Sample([]graph.VID{3, 6, 9})
+	for li := 1; li <= 2; li++ {
+		hop := res.ForLayer(li)
+		coo, err := ReindexCOO(hop, res.Table)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coo.Validate(); err != nil {
+			t.Errorf("layer %d reindexed coo invalid: %v", li, err)
+		}
+	}
+}
+
+func TestBuildLayerFormats(t *testing.T) {
+	full := ring(80, 4)
+	res := sampling.New(full, sampling.DefaultConfig()).Sample([]graph.VID{1, 2})
+	coo, _ := ReindexCOO(res.ForLayer(1), res.Table)
+
+	if ld := BuildLayer(coo, FormatCOO); ld.COO == nil || ld.CSR != nil {
+		t.Error("FormatCOO should populate only COO")
+	}
+	if ld := BuildLayer(coo, FormatCSR); ld.CSR == nil || ld.CSC != nil {
+		t.Error("FormatCSR should populate only CSR")
+	}
+	if ld := BuildLayer(coo, FormatCSRCSC); ld.CSR == nil || ld.CSC == nil {
+		t.Error("FormatCSRCSC should populate both CSR and CSC")
+	}
+}
+
+func TestSerialPreparesCompleteBatch(t *testing.T) {
+	full := ring(120, 5)
+	feats := graph.RandomEmbeddingTableForTest(120, 8)
+	dev := gpusim.NewDevice(gpusim.DefaultConfig())
+	sampler := sampling.New(full, sampling.DefaultConfig())
+	labels := make([]int32, 120)
+	b, err := Serial(sampler, feats, labels, dev, []graph.VID{4, 8, 12}, Config{Format: FormatCSRCSC, Pinned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release()
+	if b.Embed.NumVertices() != b.Sample.NumVertices() {
+		t.Errorf("embedding rows %d != sampled vertices %d", b.Embed.NumVertices(), b.Sample.NumVertices())
+	}
+	if len(b.Layers) != 2 {
+		t.Errorf("expected 2 layers, got %d", len(b.Layers))
+	}
+	if len(b.Labels) != 3 {
+		t.Errorf("expected 3 batch labels, got %d", len(b.Labels))
+	}
+	// Breakdown should record all four tasks.
+	for _, task := range []string{"sample", "reindex", "lookup", "transfer"} {
+		if b.Breakdown.Get(task) == 0 {
+			// transfer may round to zero on fast links; only require S/R/K.
+			if task != "transfer" {
+				t.Errorf("task %q not recorded", task)
+			}
+		}
+	}
+}
+
+func TestSerialOOM(t *testing.T) {
+	full := ring(120, 5)
+	feats := graph.RandomEmbeddingTableForTest(120, 64)
+	cfg := gpusim.DefaultConfig()
+	cfg.MemoryBytes = 32
+	dev := gpusim.NewDevice(cfg)
+	sampler := sampling.New(full, sampling.DefaultConfig())
+	_, err := Serial(sampler, feats, nil, dev, []graph.VID{1, 2, 3}, Config{Format: FormatCSR})
+	if _, ok := err.(*gpusim.OOMError); !ok {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+}
+
+func TestLinkThrottleAccumulates(t *testing.T) {
+	var l LinkThrottle
+	// Small pays below the quantum should not block; Flush settles them.
+	l.Pay(100)
+	l.Pay(200)
+	l.Flush() // must not panic; debt cleared
+}

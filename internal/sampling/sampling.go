@@ -1,0 +1,307 @@
+// Package sampling implements GNN neighbor sampling (§II-B, Fig 4a): for a
+// batch of destination vertices it samples a bounded number of in-neighbors
+// per vertex, hop by hop, allocating dense new VIDs through the shared
+// vidmap hash table.
+//
+// Frontiers are cumulative (DGL-block style): F₀ is the batch and
+// F_t = F_{t-1} ∪ sampled-neighbors(F_{t-1}); the hop-t subgraph has dsts
+// F_{t-1} and srcs within F_t, so the embedding matrix after executing a
+// GNN layer always covers exactly the next hop's src space. Because new
+// VIDs are allocated in first-seen order, F_t always occupies the
+// contiguous new-VID range [0, |F_t|).
+//
+// Neighbor choice is a deterministic function of (seed, dst original VID):
+// re-sampling a vertex in a later hop yields the same neighbors, so hop t's
+// edge list extends hop t-1's and each dst's neighbors are sampled exactly
+// once regardless of how many hops include it.
+package sampling
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"graphtensor/internal/graph"
+	"graphtensor/internal/tensor"
+	"graphtensor/internal/vidmap"
+)
+
+// Mode selects how sampler threads update the shared hash table.
+type Mode int
+
+const (
+	// ModeShared is the naive discipline: every worker calls GetOrAssign
+	// directly, contending on the table lock (Fig 14a).
+	ModeShared Mode = iota
+	// ModeSplit is the contention-relaxed discipline of Fig 14c: workers
+	// run only the algorithm part (A) producing candidate lists, and a
+	// single serialized hash-update part (H) performs all insertions.
+	ModeSplit
+)
+
+// Config parameterizes the sampler.
+type Config struct {
+	Fanout      int  // neighbors sampled per dst vertex (paper's n)
+	Layers      int  // GNN depth L (one hop per layer)
+	IncludeSelf bool // add a self edge per dst (GCN-style aggregation)
+	Workers     int  // sampling threads; 0 means GOMAXPROCS
+	Mode        Mode
+	Seed        uint64
+}
+
+// DefaultConfig matches the paper's setup: batchwise 2-layer sampling with
+// a small fanout and self edges.
+func DefaultConfig() Config {
+	return Config{Fanout: 4, Layers: 2, IncludeSelf: true, Mode: ModeSplit}
+}
+
+// Hop is one sampled hop in original-VID space, before reindexing.
+type Hop struct {
+	// SrcOrig/DstOrig are parallel edge arrays (COO in original VIDs).
+	SrcOrig, DstOrig []graph.VID
+	NumDst           int // |F_{t-1}|: dst new VIDs occupy [0, NumDst)
+	NumSrc           int // |F_t|: src new VIDs occupy [0, NumSrc)
+}
+
+// Result is the sampler output: per-hop edge lists plus the hash table that
+// reindexing (R) and embedding lookup (K) consume.
+type Result struct {
+	Table *vidmap.Table
+	Batch []graph.VID // original VIDs of the batch dsts (new VIDs 0..len-1)
+	Hops  []Hop       // Hops[t-1] is hop t; GNN layer ℓ uses Hops[Layers-ℓ]
+	// FrontierSizes[t] = |F_t| (FrontierSizes[0] = len(Batch)).
+	FrontierSizes []int
+}
+
+// NumVertices returns the total number of sampled vertices |F_L|.
+func (r *Result) NumVertices() int { return r.FrontierSizes[len(r.FrontierSizes)-1] }
+
+// ForLayer returns the hop that GNN layer ℓ (1-based, first-executed = 1)
+// processes: layer 1 gets the outermost hop.
+func (r *Result) ForLayer(layer int) *Hop {
+	if layer < 1 || layer > len(r.Hops) {
+		panic(fmt.Sprintf("sampling: layer %d out of range [1,%d]", layer, len(r.Hops)))
+	}
+	return &r.Hops[len(r.Hops)-layer]
+}
+
+// Sampler samples subgraphs from a full graph.
+type Sampler struct {
+	cfg  Config
+	full *graph.CSR
+}
+
+// New creates a sampler over the full graph (CSR of in-neighbors).
+func New(full *graph.CSR, cfg Config) *Sampler {
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 4
+	}
+	if cfg.Layers <= 0 {
+		cfg.Layers = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Sampler{cfg: cfg, full: full}
+}
+
+// Sample runs the full multi-hop sampling for one batch.
+func (s *Sampler) Sample(batch []graph.VID) *Result {
+	run := s.Begin(batch)
+	for !run.Done() {
+		run.Step()
+	}
+	return run.Result()
+}
+
+// Run is an in-progress sampling whose hops are driven one Step at a time —
+// the granularity the service-wide tensor scheduler needs to overlap the
+// data preparation of completed hops with the sampling of later ones
+// (§V-B, Fig 13: S2 and S1 run back-to-back while R2/K2 already execute).
+type Run struct {
+	s       *Sampler
+	res     *Result
+	newDsts []graph.VID
+	allSrc  []graph.VID
+	allDst  []graph.VID
+	t       int
+}
+
+// Begin seeds a stepwise sampling run with the batch dst vertices.
+func (s *Sampler) Begin(batch []graph.VID) *Run {
+	res := &Result{
+		Table: vidmap.New(len(batch) * (s.cfg.Fanout + 1) * s.cfg.Layers),
+		Batch: append([]graph.VID(nil), batch...),
+	}
+	// The batch occupies new VIDs [0, len(batch)) in batch order.
+	res.Table.AssignBatch(batch)
+	res.FrontierSizes = append(res.FrontierSizes, res.Table.Len())
+	return &Run{s: s, res: res, newDsts: append([]graph.VID(nil), batch...), t: 1}
+}
+
+// Done reports whether all hops have been sampled.
+func (r *Run) Done() bool { return r.t > r.s.cfg.Layers }
+
+// Step samples the next hop and returns it. The hop's A (algorithm) part
+// runs across the sampler's workers; the H (hash update) part runs within
+// this call, serialized by construction in ModeSplit.
+func (r *Run) Step() *Hop {
+	if r.Done() {
+		return nil
+	}
+	numDst := r.res.Table.Len()
+	src, dst := r.s.sampleHop(r.newDsts)
+	r.allSrc = append(r.allSrc, src...)
+	r.allDst = append(r.allDst, dst...)
+	// Allocate new VIDs for freshly seen srcs; the next hop samples
+	// neighbors only for those.
+	r.newDsts = r.s.admit(r.res.Table, src)
+	r.res.FrontierSizes = append(r.res.FrontierSizes, r.res.Table.Len())
+	r.res.Hops = append(r.res.Hops, Hop{
+		SrcOrig: r.allSrc[:len(r.allSrc):len(r.allSrc)],
+		DstOrig: r.allDst[:len(r.allDst):len(r.allDst)],
+		NumDst:  numDst,
+		NumSrc:  r.res.Table.Len(),
+	})
+	r.t++
+	return &r.res.Hops[len(r.res.Hops)-1]
+}
+
+// Result returns the sampling result; valid once Done.
+func (r *Run) Result() *Result { return r.res }
+
+// sampleHop samples neighbors for each dst in parallel, returning the hop's
+// new edges in deterministic (dst-major) order.
+func (s *Sampler) sampleHop(dsts []graph.VID) (src, dst []graph.VID) {
+	type chunk struct {
+		src, dst []graph.VID
+	}
+	workers := s.cfg.Workers
+	if workers > len(dsts) {
+		workers = len(dsts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunks := make([]chunk, workers)
+	var wg sync.WaitGroup
+	per := (len(dsts) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(dsts) {
+			hi = len(dsts)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			c := &chunks[w]
+			for _, d := range dsts[lo:hi] {
+				neighbors := s.chooseNeighbors(d)
+				for _, n := range neighbors {
+					c.src = append(c.src, n)
+					c.dst = append(c.dst, d)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, c := range chunks {
+		src = append(src, c.src...)
+		dst = append(dst, c.dst...)
+	}
+	return src, dst
+}
+
+// chooseNeighbors picks up to Fanout unique random in-neighbors of d (plus
+// the self edge), deterministically in d and the sampler seed.
+func (s *Sampler) chooseNeighbors(d graph.VID) []graph.VID {
+	adj := s.full.Neighbors(d)
+	out := make([]graph.VID, 0, s.cfg.Fanout+1)
+	if s.cfg.IncludeSelf {
+		out = append(out, d)
+	}
+	if len(adj) <= s.cfg.Fanout {
+		for _, n := range adj {
+			if n != d || !s.cfg.IncludeSelf {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	// Floyd's algorithm: Fanout distinct indices from [0, len(adj)).
+	rng := tensor.NewRNG(s.cfg.Seed ^ (uint64(d)+1)*0x9e3779b97f4a7c15)
+	chosen := make(map[int]struct{}, s.cfg.Fanout)
+	for j := len(adj) - s.cfg.Fanout; j < len(adj); j++ {
+		t := rng.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		n := adj[t]
+		if n == d && s.cfg.IncludeSelf {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// admit allocates new VIDs for freshly seen srcs and returns the list of
+// fresh original VIDs (the next hop's dsts), in deterministic order for
+// ModeSplit. In ModeShared the admission runs through per-src GetOrAssign
+// calls from multiple workers, reproducing the contended discipline.
+func (s *Sampler) admit(table *vidmap.Table, srcs []graph.VID) []graph.VID {
+	switch s.cfg.Mode {
+	case ModeShared:
+		return s.admitShared(table, srcs)
+	default:
+		return s.admitSplit(table, srcs)
+	}
+}
+
+func (s *Sampler) admitSplit(table *vidmap.Table, srcs []graph.VID) []graph.VID {
+	before := table.Len()
+	table.AssignBatch(srcs)
+	origs := table.OrigVIDs()
+	return origs[before:]
+}
+
+func (s *Sampler) admitShared(table *vidmap.Table, srcs []graph.VID) []graph.VID {
+	workers := s.cfg.Workers
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	fresh := make([][]graph.VID, workers)
+	var wg sync.WaitGroup
+	per := (len(srcs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > len(srcs) {
+			hi = len(srcs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for _, src := range srcs[lo:hi] {
+				if _, isFresh := table.GetOrAssign(src); isFresh {
+					fresh[w] = append(fresh[w], src)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []graph.VID
+	for _, f := range fresh {
+		out = append(out, f...)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic SplitMix64-based generator used for weight
+// initialization and synthetic data. We avoid math/rand so that results are
+// stable across Go releases and identical in tests and benchmarks.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator. Different seeds produce independent streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 random bits (SplitMix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Normal returns an approximately standard-normal value using the sum of
+// uniforms (Irwin–Hall with 12 terms), which is plenty for weight init.
+func (r *RNG) Normal() float32 {
+	var s float32
+	for i := 0; i < 12; i++ {
+		s += r.Float32()
+	}
+	return s - 6
+}
+
+// Random returns a rows×cols matrix with entries drawn uniformly from
+// [-scale, scale).
+func Random(rows, cols int, scale float32, rng *RNG) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return m
+}
+
+// GlorotUniform returns a rows×cols matrix initialized with the Glorot
+// (Xavier) uniform scheme, the default for GCN/NGCF weights.
+func GlorotUniform(rows, cols int, rng *RNG) *Matrix {
+	limit := float32(math.Sqrt(6 / float64(rows+cols)))
+	return Random(rows, cols, limit, rng)
+}

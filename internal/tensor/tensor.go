@@ -1,0 +1,339 @@
+// Package tensor provides float32 dense matrices and the parallel linear
+// algebra the GraphTensor combination stage (MLP forward and backward)
+// needs. It is the stand-in for the TensorFlow dense primitives
+// (tf.matmul, tf.nn.bias_add, tf.nn.relu) the paper's Apply uses.
+//
+// All operations are deterministic; parallel kernels split work by rows so
+// results are bitwise identical regardless of worker count.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) as a rows×cols matrix without copying.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Bytes reports the storage size of the matrix payload in bytes.
+func (m *Matrix) Bytes() int64 { return int64(len(m.Data)) * 4 }
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Equal reports whether m and o have identical shape and elements within eps.
+func (m *Matrix) Equal(o *Matrix, eps float32) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		d := v - o.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between m
+// and o. The shapes must match.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float32 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	var worst float32
+	for i, v := range m.Data {
+		d := v - o.Data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// String renders small matrices for debugging; large ones are summarized.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.3g", m.At(i, j))
+		}
+	}
+	return s + "]"
+}
+
+// parallelRows runs fn over row ranges [lo,hi) split across workers. Results
+// are deterministic because each row is written by exactly one worker.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 || rows < 64 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul returns a×b. Panics on inner-dimension mismatch.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulT returns a×bᵀ.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	parallelRows(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var acc float32
+				for k, av := range arow {
+					acc += av * brow[k]
+				}
+				orow[j] = acc
+			}
+		}
+	})
+	return out
+}
+
+// TMatMul returns aᵀ×b.
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: tmatmul (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	// Accumulate per worker into private buffers to stay deterministic-safe
+	// would cost memory; instead split by output rows (a's columns).
+	parallelRows(a.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Row(i)
+			for k := 0; k < a.Rows; k++ {
+				av := a.At(k, i)
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Transpose returns mᵀ as a new matrix.
+func Transpose(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Data[j*m.Rows+i] = v
+		}
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	mustSameShape("add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a−b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	mustSameShape("sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// Hadamard returns a⊙b (elementwise product).
+func Hadamard(a, b *Matrix) *Matrix {
+	mustSameShape("hadamard", a, b)
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s·m.
+func Scale(m *Matrix, s float32) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = v * s
+	}
+	return out
+}
+
+// AddBias adds bias (1×Cols or len Cols) to every row of m in place and
+// returns m.
+func AddBias(m *Matrix, bias []float32) *Matrix {
+	if len(bias) != m.Cols {
+		panic(fmt.Sprintf("tensor: bias length %d != cols %d", len(bias), m.Cols))
+	}
+	parallelRows(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.Row(i)
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+	})
+	return m
+}
+
+// ReLU returns max(0, m) elementwise.
+func ReLU(m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// ReLUGrad returns grad⊙(pre > 0): the backward pass of ReLU given the
+// pre-activation values.
+func ReLUGrad(grad, pre *Matrix) *Matrix {
+	mustSameShape("relugrad", grad, pre)
+	out := New(grad.Rows, grad.Cols)
+	for i, v := range pre.Data {
+		if v > 0 {
+			out.Data[i] = grad.Data[i]
+		}
+	}
+	return out
+}
+
+// SumRows returns the column-wise sum of m as a length-Cols slice (the
+// bias gradient of an MLP layer).
+func SumRows(m *Matrix) []float32 {
+	out := make([]float32, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// FrobeniusNorm returns sqrt(Σ m_ij²).
+func FrobeniusNorm(m *Matrix) float64 {
+	var acc float64
+	for _, v := range m.Data {
+		acc += float64(v) * float64(v)
+	}
+	return math.Sqrt(acc)
+}
+
+func mustSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

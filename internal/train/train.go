@@ -1,0 +1,126 @@
+// Package train is a reusable epoch-level training driver over the
+// framework trainers: it runs multiple epochs with a train/validation
+// split, tracks loss and accuracy, supports early stopping, and overlaps
+// preprocessing with compute through the framework's prefetcher. It is the
+// harness a downstream adopter would build a training job on.
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"graphtensor/internal/frameworks"
+	"graphtensor/internal/graph"
+)
+
+// Config parameterizes a training run.
+type Config struct {
+	Epochs          int
+	BatchesPerEpoch int
+	LearningRate    float32
+	// ValEvery evaluates on the validation batch every N epochs (0 = never).
+	ValEvery int
+	// EarlyStopPatience stops if validation accuracy does not improve for
+	// this many evaluations (0 = disabled).
+	EarlyStopPatience int
+	// Verbose prints per-epoch progress.
+	Verbose bool
+}
+
+// DefaultConfig returns a reasonable training schedule.
+func DefaultConfig() Config {
+	return Config{Epochs: 10, BatchesPerEpoch: 20, LearningRate: 0.05, ValEvery: 2}
+}
+
+// EpochResult records one epoch's outcome.
+type EpochResult struct {
+	Epoch     int
+	MeanLoss  float64
+	ValAcc    float64
+	Evaluated bool
+	Wall      time.Duration
+}
+
+// History is the sequence of epoch results.
+type History struct {
+	Epochs       []EpochResult
+	BestValAcc   float64
+	BestEpoch    int
+	StoppedEarly bool
+}
+
+// Driver trains a framework trainer over epochs.
+type Driver struct {
+	tr      *frameworks.Trainer
+	cfg     Config
+	valDsts []graph.VID
+}
+
+// NewDriver builds a driver. valDsts is a fixed validation batch (drawn once
+// so accuracy is comparable across epochs); pass nil to skip validation.
+func NewDriver(tr *frameworks.Trainer, cfg Config, valDsts []graph.VID) *Driver {
+	if cfg.BatchesPerEpoch <= 0 {
+		cfg.BatchesPerEpoch = 20
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	return &Driver{tr: tr, cfg: cfg, valDsts: valDsts}
+}
+
+// Run executes the training schedule and returns the history.
+func (d *Driver) Run() (*History, error) {
+	h := &History{}
+	sinceImprove := 0
+	for e := 0; e < d.cfg.Epochs; e++ {
+		t0 := time.Now()
+		wall, loss, err := d.tr.TrainEpoch(d.cfg.BatchesPerEpoch)
+		if err != nil {
+			return nil, err
+		}
+		// After the first epoch, fit the DKP cost model (paper's schedule).
+		if e == 0 {
+			_ = d.tr.Warmup(0) // fit from observations if DKP is enabled
+		}
+		res := EpochResult{Epoch: e, MeanLoss: loss, Wall: wall}
+		if d.valDsts != nil && d.cfg.ValEvery > 0 && e%d.cfg.ValEvery == 0 {
+			acc, err := d.validate()
+			if err != nil {
+				return nil, err
+			}
+			res.ValAcc = acc
+			res.Evaluated = true
+			if acc > h.BestValAcc {
+				h.BestValAcc = acc
+				h.BestEpoch = e
+				sinceImprove = 0
+			} else {
+				sinceImprove++
+			}
+		}
+		res.Wall = time.Since(t0)
+		h.Epochs = append(h.Epochs, res)
+		if d.cfg.Verbose {
+			if res.Evaluated {
+				fmt.Printf("epoch %2d  loss %.4f  val-acc %.3f  %v\n", e, res.MeanLoss, res.ValAcc, res.Wall.Round(time.Millisecond))
+			} else {
+				fmt.Printf("epoch %2d  loss %.4f  %v\n", e, res.MeanLoss, res.Wall.Round(time.Millisecond))
+			}
+		}
+		if d.cfg.EarlyStopPatience > 0 && sinceImprove >= d.cfg.EarlyStopPatience {
+			h.StoppedEarly = true
+			break
+		}
+	}
+	return h, nil
+}
+
+// validate prepares the fixed validation batch and evaluates accuracy.
+func (d *Driver) validate() (float64, error) {
+	b, err := d.tr.Prepare(d.valDsts, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer b.Release()
+	return d.tr.Evaluate(b)
+}

@@ -1,0 +1,80 @@
+package train
+
+import (
+	"testing"
+
+	"graphtensor/internal/datasets"
+	"graphtensor/internal/frameworks"
+)
+
+func newTrainer(t *testing.T, kind frameworks.Kind) (*frameworks.Trainer, *datasets.Dataset) {
+	t.Helper()
+	ds, err := datasets.Generate("products", datasets.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := frameworks.DefaultOptions()
+	opt.BatchSize = 50
+	tr, err := frameworks.New(kind, ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, ds
+}
+
+func TestDriverRunsEpochs(t *testing.T) {
+	tr, ds := newTrainer(t, frameworks.BaseGT)
+	cfg := Config{Epochs: 4, BatchesPerEpoch: 3, LearningRate: 0.1, ValEvery: 2}
+	d := NewDriver(tr, cfg, ds.BatchDsts(50, 999))
+	h, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Epochs) != 4 {
+		t.Fatalf("ran %d epochs, want 4", len(h.Epochs))
+	}
+	evaluated := 0
+	for _, e := range h.Epochs {
+		if e.Evaluated {
+			evaluated++
+			if e.ValAcc < 0 || e.ValAcc > 1 {
+				t.Errorf("val acc %g out of range", e.ValAcc)
+			}
+		}
+	}
+	if evaluated == 0 {
+		t.Error("no epochs evaluated despite ValEvery=2")
+	}
+}
+
+func TestDriverEarlyStop(t *testing.T) {
+	tr, ds := newTrainer(t, frameworks.BaseGT)
+	cfg := Config{Epochs: 50, BatchesPerEpoch: 2, LearningRate: 0, ValEvery: 1, EarlyStopPatience: 3}
+	// LearningRate 0 means accuracy never improves -> early stop must fire.
+	d := NewDriver(tr, cfg, ds.BatchDsts(50, 7))
+	h, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.StoppedEarly {
+		t.Error("expected early stop with zero learning rate")
+	}
+	if len(h.Epochs) >= 50 {
+		t.Error("early stop did not cut the run short")
+	}
+}
+
+func TestDriverWithoutValidation(t *testing.T) {
+	tr, _ := newTrainer(t, frameworks.PreproGT)
+	cfg := Config{Epochs: 3, BatchesPerEpoch: 2, LearningRate: 0.05}
+	d := NewDriver(tr, cfg, nil)
+	h, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range h.Epochs {
+		if e.Evaluated {
+			t.Error("unexpected validation without valDsts")
+		}
+	}
+}

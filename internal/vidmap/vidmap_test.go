@@ -1,0 +1,99 @@
+package vidmap
+
+import (
+	"sync"
+	"testing"
+
+	"graphtensor/internal/graph"
+)
+
+func TestAssignsDenseVIDsInOrder(t *testing.T) {
+	tb := New(4)
+	origs := []graph.VID{10, 20, 10, 30, 20}
+	nv := tb.AssignBatch(origs)
+	want := []graph.VID{0, 1, 0, 2, 1}
+	for i := range want {
+		if nv[i] != want[i] {
+			t.Fatalf("nv[%d]=%d want %d", i, nv[i], want[i])
+		}
+	}
+	if tb.Len() != 3 {
+		t.Errorf("len %d want 3", tb.Len())
+	}
+}
+
+func TestGetOrAssignFresh(t *testing.T) {
+	tb := New(2)
+	if _, fresh := tb.GetOrAssign(5); !fresh {
+		t.Error("first insert should be fresh")
+	}
+	if _, fresh := tb.GetOrAssign(5); fresh {
+		t.Error("second insert should not be fresh")
+	}
+}
+
+func TestOrigVIDsInverse(t *testing.T) {
+	tb := New(4)
+	tb.AssignBatch([]graph.VID{7, 3, 9})
+	origs := tb.OrigVIDs()
+	for nv, orig := range origs {
+		got, ok := tb.Lookup(orig)
+		if !ok || int(got) != nv {
+			t.Errorf("OrigVIDs[%d]=%d but Lookup returns %d (%v)", nv, orig, got, ok)
+		}
+	}
+}
+
+func TestLookupBatchUnknownIsNegative(t *testing.T) {
+	tb := New(2)
+	tb.AssignBatch([]graph.VID{1, 2})
+	out := make([]graph.VID, 3)
+	tb.LookupBatch([]graph.VID{2, 99, 1}, out)
+	if out[0] != 1 || out[1] != -1 || out[2] != 0 {
+		t.Errorf("lookup batch = %v", out)
+	}
+}
+
+// TestConcurrentGetOrAssignLinearizable: concurrent inserts produce a
+// consistent dense mapping with no duplicate new VIDs.
+func TestConcurrentGetOrAssignLinearizable(t *testing.T) {
+	tb := New(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tb.GetOrAssign(graph.VID((base*500 + i) % 600))
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every original VID in [0,600) must map to a unique new VID in range.
+	seen := map[graph.VID]bool{}
+	origs := tb.OrigVIDs()
+	for _, o := range origs {
+		nv, _ := tb.Lookup(o)
+		if seen[nv] {
+			t.Fatalf("new VID %d assigned twice", nv)
+		}
+		seen[nv] = true
+	}
+	if tb.Len() != 600 {
+		t.Errorf("len %d want 600 distinct vertices", tb.Len())
+	}
+	if tb.LockOps() == 0 {
+		t.Error("no lock operations recorded")
+	}
+}
+
+func TestLockWaitRecorded(t *testing.T) {
+	tb := New(10)
+	tb.GetOrAssign(1)
+	if tb.LockWait() < 0 {
+		t.Error("negative lock wait")
+	}
+	if tb.LockOps() == 0 {
+		t.Error("lock ops not counted")
+	}
+}
