@@ -1,4 +1,5 @@
-// Command gtbench regenerates the paper's tables and figures.
+// Command gtbench regenerates the paper's tables and figures, and captures
+// hot-path micro-benchmark snapshots.
 //
 // Usage:
 //
@@ -6,6 +7,8 @@
 //	gtbench -exp all              # every experiment (slow)
 //	gtbench -list                 # list experiment ids
 //	gtbench -exp fig19 -quick     # reduced dataset set and batch count
+//	gtbench -micro                # run micro-benchmarks, write BENCH_1.json
+//	gtbench -micro -count 10 -out BENCH_2.json
 package main
 
 import (
@@ -23,8 +26,20 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		quick   = flag.Bool("quick", false, "reduced datasets and batch counts")
 		batches = flag.Int("batches", 0, "override per-measurement batch count")
+		micro   = flag.Bool("micro", false, "run hot-path micro-benchmarks and write a BENCH json snapshot")
+		count   = flag.Int("count", 5, "benchmark repetitions per micro-benchmark (-micro)")
+		outPath = flag.String("out", "BENCH_1.json", "output path for the micro-benchmark snapshot (-micro)")
+		benchRe = flag.String("bench", defaultMicroBench, "benchmark name regexp (-micro)")
 	)
 	flag.Parse()
+
+	if *micro {
+		if err := runMicro(*benchRe, *count, *outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "gtbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

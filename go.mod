@@ -1,0 +1,3 @@
+module graphtensor
+
+go 1.21

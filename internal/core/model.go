@@ -284,6 +284,9 @@ func (m *Model) Backward(ctx *kernels.Ctx, in *Input, fr *ForwardResult, dLogits
 				}
 			}
 		}
+		// The pre-activation workspace is consumed; return it to the pool.
+		tensor.Put(cache.pre)
+		cache.pre = nil
 
 		var dx *kernels.DeviceMatrix
 		switch cache.placement {
@@ -407,6 +410,8 @@ func (m *Model) Infer(ctx *kernels.Ctx, in *Input) (*kernels.DeviceMatrix, error
 				c.cf.WAgg.Free()
 			}
 		}
+		tensor.Put(c.pre)
+		c.pre = nil
 	}
 	return fr.Logits, nil
 }

@@ -226,6 +226,9 @@ func (t *Trainer) Compute(b *prep.Batch) (float64, error) {
 	}
 	loss, err := t.Model.TrainStep(t.Engine.Ctx, in, t.Opt.LearningRate)
 	in.X.Free()
+	// The batch's graphs are released by the caller; drop the per-graph
+	// memos so they do not pin the graph storage.
+	t.Engine.Ctx.EndBatch()
 	return loss, err
 }
 
@@ -238,6 +241,7 @@ func (t *Trainer) Evaluate(b *prep.Batch) (float64, error) {
 	}
 	acc, err := t.Model.Evaluate(t.Engine.Ctx, in)
 	in.X.Free()
+	t.Engine.Ctx.EndBatch()
 	return acc, err
 }
 

@@ -68,6 +68,15 @@ type Device struct {
 	peak    int64
 	buffers map[int64]*Buffer
 
+	// smMu guards smFree, the pool of recycled SMContexts. Kernel launches
+	// are frequent (one per GNN stage per batch) and each needs NumSMs
+	// contexts with their cache maps and LRU nodes; recycling them across
+	// launches removes the dominant allocation cost of the simulator while
+	// preserving the cold-cache-per-kernel semantics (contexts are reset on
+	// return).
+	smMu   sync.Mutex
+	smFree []*SMContext
+
 	// Global counters aggregated across all finished kernels.
 	flops        atomic.Int64
 	globalLoads  atomic.Int64 // cache-line loads from global memory

@@ -25,11 +25,22 @@ type KernelStats struct {
 }
 
 // StartKernel begins a kernel launch. Each SM starts with a cold cache,
-// which matches the paper's per-kernel Nsight measurements.
+// which matches the paper's per-kernel Nsight measurements. Contexts are
+// drawn from the device's recycle pool; Finish returns them, so SM(i)
+// results must not be retained past Finish.
 func (d *Device) StartKernel(name string) *Kernel {
 	d.launches.Add(1)
 	k := &Kernel{dev: d, name: name, sms: make([]*SMContext, d.cfg.NumSMs)}
-	for i := range k.sms {
+	d.smMu.Lock()
+	n := copy(k.sms, d.smFree[max(0, len(d.smFree)-len(k.sms)):])
+	d.smFree = d.smFree[:len(d.smFree)-n]
+	d.smMu.Unlock()
+	// Pooled contexts land at the front (reset at checkout so counters of a
+	// finished kernel stay readable); fill the rest with fresh ones.
+	for i := 0; i < n; i++ {
+		k.sms[i].reset()
+	}
+	for i := n; i < len(k.sms); i++ {
 		k.sms[i] = newSMContext(d.cfg)
 	}
 	return k
@@ -41,8 +52,10 @@ func (k *Kernel) NumSMs() int { return len(k.sms) }
 // SM returns the context of streaming multiprocessor i.
 func (k *Kernel) SM(i int) *SMContext { return k.sms[i] }
 
-// Finish aggregates all SM contexts into the device counters; it is
-// idempotent and returns the kernel's stats.
+// Finish aggregates all SM contexts into the device counters and returns
+// the contexts to the device recycle pool; it is idempotent and returns
+// the kernel's stats. SMContexts obtained via SM must not be used after
+// Finish (SM panics once the contexts are recycled).
 func (k *Kernel) Finish() KernelStats {
 	k.once.Do(func() {
 		st := KernelStats{Name: k.name}
@@ -59,6 +72,10 @@ func (k *Kernel) Finish() KernelStats {
 		k.dev.cacheHits.Add(st.CacheHits)
 		k.dev.cacheBytes.Add(st.CacheBytes)
 		k.st = st
+		k.dev.smMu.Lock()
+		k.dev.smFree = append(k.dev.smFree, k.sms...)
+		k.dev.smMu.Unlock()
+		k.sms = nil
 	})
 	return k.st
 }
@@ -87,6 +104,14 @@ func newSMContext(cfg Config) *SMContext {
 		lineSize: cfg.CacheLineBytes,
 		lineMask: ^(cfg.CacheLineBytes - 1),
 	}
+}
+
+// reset clears the context for recycling into the next kernel launch: the
+// counters drop to zero and the cache is emptied (cold per kernel), with
+// its nodes and map buckets retained for reuse.
+func (sm *SMContext) reset() {
+	sm.flops, sm.loads, sm.stores, sm.hits = 0, 0, 0, 0
+	sm.cache.reset()
 }
 
 // Read simulates a load of size bytes at addr: each touched cache line is
@@ -123,75 +148,142 @@ func (sm *SMContext) Write(addr, size int64) {
 // AddFLOPs credits n floating point operations to this SM.
 func (sm *SMContext) AddFLOPs(n int64) { sm.flops += n }
 
-// lruCache is a line-granular fully-associative LRU cache, implemented as a
-// map plus intrusive doubly-linked list.
+// lruCache is a line-granular fully-associative LRU cache. Cache touches
+// are the single hottest operation of the whole simulator (every modeled
+// load funnels through here), so the implementation is index-based and
+// pointer-free: slots live in one flat slice linked by int32 indices, and
+// lookup goes through an open hash table of bucket heads chained through
+// the slots. Nothing here allocates after construction, reset is a bucket
+// memclr, and the garbage collector never traverses the structure.
 type lruCache struct {
 	capacity int
-	items    map[int64]*lruNode
-	head     *lruNode // most recently used
-	tail     *lruNode // least recently used
+	slots    []lruSlot // slot arena, len == capacity
+	buckets  []int32   // hash-chain heads, -1 = empty; len is a power of two
+	mask     uint32
+	used     int32 // slots in use; slots [0,used) are resident lines
+	head     int32 // most recently used, -1 when empty
+	tail     int32 // least recently used, -1 when empty
 }
 
-type lruNode struct {
+// lruSlot is one resident cache line: doubly linked in LRU order via
+// prev/next and singly linked in its hash bucket via hnext.
+type lruSlot struct {
 	key        int64
-	prev, next *lruNode
+	prev, next int32
+	hnext      int32
 }
 
 func newLRUCache(capacity int) *lruCache {
-	return &lruCache{capacity: capacity, items: make(map[int64]*lruNode, capacity)}
+	nb := 1
+	for nb < 2*capacity {
+		nb <<= 1
+	}
+	c := &lruCache{
+		capacity: capacity,
+		slots:    make([]lruSlot, capacity),
+		buckets:  make([]int32, nb),
+		mask:     uint32(nb - 1),
+		head:     -1,
+		tail:     -1,
+	}
+	for i := range c.buckets {
+		c.buckets[i] = -1
+	}
+	return c
+}
+
+// bucket hashes a line address (always line-size aligned, so the low bits
+// carry no entropy) onto a bucket index via a Fibonacci multiply.
+func (c *lruCache) bucket(line int64) uint32 {
+	return uint32((uint64(line)*0x9e3779b97f4a7c15)>>33) & c.mask
 }
 
 // touch marks line as most recently used, inserting (and evicting the LRU
 // line if full) when absent. It returns true on hit.
 func (c *lruCache) touch(line int64) bool {
-	if n, ok := c.items[line]; ok {
-		c.moveToFront(n)
-		return true
+	b := c.bucket(line)
+	for i := c.buckets[b]; i >= 0; i = c.slots[i].hnext {
+		if c.slots[i].key == line {
+			c.moveToFront(i)
+			return true
+		}
 	}
-	n := &lruNode{key: line}
-	if len(c.items) >= c.capacity {
-		evict := c.tail
-		c.remove(evict)
-		delete(c.items, evict.key)
+	var idx int32
+	if c.used >= int32(c.capacity) {
+		// Reuse the evicted LRU slot for the incoming line.
+		idx = c.tail
+		c.listRemove(idx)
+		c.hashRemove(idx)
+	} else {
+		idx = c.used
+		c.used++
 	}
-	c.items[line] = n
-	c.pushFront(n)
+	s := &c.slots[idx]
+	s.key = line
+	s.hnext = c.buckets[b]
+	c.buckets[b] = idx
+	c.pushFront(idx)
 	return false
 }
 
-func (c *lruCache) pushFront(n *lruNode) {
-	n.prev = nil
-	n.next = c.head
-	if c.head != nil {
-		c.head.prev = n
+// reset empties the cache in O(buckets) with no allocation or pointer
+// traffic, ready for the next (cold-cache) kernel launch.
+func (c *lruCache) reset() {
+	for i := range c.buckets {
+		c.buckets[i] = -1
 	}
-	c.head = n
-	if c.tail == nil {
-		c.tail = n
+	c.used, c.head, c.tail = 0, -1, -1
+}
+
+func (c *lruCache) pushFront(idx int32) {
+	s := &c.slots[idx]
+	s.prev = -1
+	s.next = c.head
+	if c.head >= 0 {
+		c.slots[c.head].prev = idx
+	}
+	c.head = idx
+	if c.tail < 0 {
+		c.tail = idx
 	}
 }
 
-func (c *lruCache) remove(n *lruNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (c *lruCache) listRemove(idx int32) {
+	s := &c.slots[idx]
+	if s.prev >= 0 {
+		c.slots[s.prev].next = s.next
 	} else {
-		c.head = n.next
+		c.head = s.next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if s.next >= 0 {
+		c.slots[s.next].prev = s.prev
 	} else {
-		c.tail = n.prev
+		c.tail = s.prev
 	}
-	n.prev, n.next = nil, nil
+	s.prev, s.next = -1, -1
 }
 
-func (c *lruCache) moveToFront(n *lruNode) {
-	if c.head == n {
+func (c *lruCache) hashRemove(idx int32) {
+	b := c.bucket(c.slots[idx].key)
+	if c.buckets[b] == idx {
+		c.buckets[b] = c.slots[idx].hnext
 		return
 	}
-	c.remove(n)
-	c.pushFront(n)
+	for i := c.buckets[b]; i >= 0; i = c.slots[i].hnext {
+		if c.slots[i].hnext == idx {
+			c.slots[i].hnext = c.slots[idx].hnext
+			return
+		}
+	}
+}
+
+func (c *lruCache) moveToFront(idx int32) {
+	if c.head == idx {
+		return
+	}
+	c.listRemove(idx)
+	c.pushFront(idx)
 }
 
 // len reports the number of resident lines (for tests).
-func (c *lruCache) len() int { return len(c.items) }
+func (c *lruCache) len() int { return int(c.used) }

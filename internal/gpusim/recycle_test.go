@@ -1,0 +1,78 @@
+package gpusim
+
+import "testing"
+
+// TestKernelRecycleColdCache verifies that SMContext recycling across
+// kernel launches preserves the cold-cache-per-kernel semantics: a second
+// kernel replaying the same access pattern must report identical stats
+// (same misses — nothing leaks from the previous launch's cache), and the
+// recycled launch must not allocate fresh contexts.
+func TestKernelRecycleColdCache(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	buf := d.MustAlloc(1<<20, "data")
+
+	replay := func() KernelStats {
+		k := d.StartKernel("replay")
+		for smID := 0; smID < k.NumSMs(); smID += 7 {
+			sm := k.SM(smID)
+			for off := int64(0); off < 8<<10; off += 96 {
+				sm.Read(buf.Addr(off), 64)
+			}
+			// Re-read a prefix: hits the second time within one kernel.
+			for off := int64(0); off < 4<<10; off += 96 {
+				sm.Read(buf.Addr(off), 64)
+			}
+			sm.Write(buf.Addr(0), 4096)
+			sm.AddFLOPs(1000)
+		}
+		return k.Finish()
+	}
+
+	first := replay()
+	for i := 0; i < 3; i++ {
+		again := replay()
+		if again != first {
+			t.Fatalf("recycled kernel stats differ: run %d %+v != first %+v", i+2, again, first)
+		}
+	}
+	if first.CacheHits == 0 || first.GlobalLoads == 0 {
+		t.Fatalf("replay exercised no cache traffic: %+v", first)
+	}
+}
+
+// TestLRUCacheEviction pins the index-based LRU behaviour: capacity is
+// respected, the least recently used line is evicted first, and reset
+// empties the cache without losing capacity.
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache(2)
+	if c.touch(10) {
+		t.Fatal("first touch of 10 hit")
+	}
+	if c.touch(20) {
+		t.Fatal("first touch of 20 hit")
+	}
+	if !c.touch(10) {
+		t.Fatal("second touch of 10 missed")
+	}
+	// Insert a third line: 20 is now LRU and must be evicted.
+	if c.touch(30) {
+		t.Fatal("first touch of 30 hit")
+	}
+	if c.touch(20) {
+		t.Fatal("touch of evicted 20 hit")
+	}
+	// 10 was evicted by 20's reinsertion (capacity 2: {30, 20}).
+	if !c.touch(30) {
+		t.Fatal("30 should still be resident")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	c.reset()
+	if c.len() != 0 {
+		t.Fatalf("len after reset = %d, want 0", c.len())
+	}
+	if c.touch(30) {
+		t.Fatal("post-reset touch of 30 hit: cache not cold")
+	}
+}

@@ -83,13 +83,10 @@ func (a Advisor) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*Device
 		if err != nil {
 			return err
 		}
-		invDeg := invDegFromCSR(csr)
+		invDeg := ctx.InvDeg(csr)
 		k := ctx.Dev.StartKernel("advisor-aggr")
 		numSMs := k.NumSMs()
-		scratch := make([][]float32, numSMs)
-		for i := range scratch {
-			scratch[i] = make([]float32, dim)
-		}
+		scratch := ctx.msgScratch(numSMs, dim)
 		runSMs(k, len(groups), func(sm *gpusim.SMContext, u int) {
 			gr := groups[u]
 			prow := partials.M.Row(u)

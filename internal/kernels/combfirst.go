@@ -210,7 +210,7 @@ func napaScaledPull(ctx *Ctx, csr *graph.BCSR, x, t *DeviceMatrix, m Modes) (*De
 		if err != nil {
 			return err
 		}
-		invDeg := invDegFromCSR(csr)
+		invDeg := ctx.InvDeg(csr)
 		k := ctx.Dev.StartKernel("napa-pull")
 		runSMsChunked(k, csr.NumDst, func(sm *gpusim.SMContext, lo, hi int) {
 			for d := lo; d < hi; d++ {
@@ -251,7 +251,7 @@ func napaScaledPullBackward(ctx *Ctx, g *Graphs, csr *graph.BCSR, x *DeviceMatri
 	if err != nil {
 		return nil, err
 	}
-	invDeg := invDegFromCSR(csr)
+	invDeg := ctx.InvDeg(csr)
 	dim := x.M.Cols
 	hid := res.T.M.Cols
 
@@ -260,7 +260,7 @@ func napaScaledPullBackward(ctx *Ctx, g *Graphs, csr *graph.BCSR, x *DeviceMatri
 	if err != nil {
 		return nil, err
 	}
-	dxW := tensor.New(csr.NumSrc, dim) // weight-path gradient (host staging)
+	dxW := tensor.Get(csr.NumSrc, dim) // weight-path gradient (host staging, pooled)
 	err = ctx.track(PhaseAggregation, func() error {
 		k := ctx.Dev.StartKernel("napa-pull-bwp")
 		runSMsChunked(k, csc.NumSrc, func(sm *gpusim.SMContext, lo, hi int) {
@@ -336,6 +336,7 @@ func napaScaledPullBackward(ctx *Ctx, g *Graphs, csr *graph.BCSR, x *DeviceMatri
 	for i := range dx.M.Data {
 		dx.M.Data[i] += dxW.Data[i]
 	}
+	tensor.Put(dxW)
 	dT.Free()
 	return dx, nil
 }
@@ -350,10 +351,11 @@ func napaWeightPull(ctx *Ctx, csr *graph.BCSR, x *DeviceMatrix, m Modes) (*Devic
 		if err != nil {
 			return err
 		}
-		invDeg := invDegFromCSR(csr)
+		invDeg := ctx.InvDeg(csr)
 		k := ctx.Dev.StartKernel("napa-weightpull")
-		runSMsChunked(k, csr.NumDst, func(sm *gpusim.SMContext, lo, hi int) {
-			w := make([]float32, x.M.Cols)
+		wS := ctx.wScratch(k.NumSMs(), x.M.Cols)
+		runSMsChunkedIdx(k, csr.NumDst, func(sm *gpusim.SMContext, smID, lo, hi int) {
+			w := wS[smID]
 			for d := lo; d < hi; d++ {
 				sm.Read(x.RowAddr(d), x.RowBytes())
 				dstRow := x.M.Row(d)
@@ -386,7 +388,7 @@ func napaWeightPullBackward(ctx *Ctx, g *Graphs, csr *graph.BCSR, x, dWAgg, dx *
 	if err != nil {
 		return err
 	}
-	invDeg := invDegFromCSR(csr)
+	invDeg := ctx.InvDeg(csr)
 	return ctx.track(PhaseEdgeWeight, func() error {
 		k := ctx.Dev.StartKernel("napa-weightpull-bwp")
 		// src side: d(w_e)/d(x_s) = x_d.

@@ -20,15 +20,127 @@ const (
 // Ctx carries the simulated device, the per-phase time breakdown and the
 // per-phase device work counters every kernel records into. A Ctx is used
 // by one training loop at a time (not concurrently).
+//
+// The Ctx is also the batch-scoped workspace of the kernel layer: per-SM
+// scratch rows (message and edge-weight buffers) are owned by the Ctx and
+// reused across every kernel launch, and derived per-graph quantities
+// (inverse degrees, CSC-order edge ids) are memoized so strategies and
+// passes that share a graph within a batch never recompute them.
 type Ctx struct {
 	Dev    *gpusim.Device
 	Phases *metrics.Breakdown
 	work   map[string]gpusim.Counters
+
+	// Reusable per-SM scratch: msgBuf/wBuf back the row views handed to
+	// kernel chunks. Kernel launches within a Ctx are sequential, and
+	// within a launch each goroutine owns disjoint SM ids, so a single set
+	// of rows per role is race-free.
+	msgBuf   []float32
+	msgViews [][]float32
+	wBuf     []float32
+	wViews   [][]float32
+
+	// Memoized per-graph derivations, keyed by the storage object identity.
+	invDegCSR map[*graph.BCSR][]float32
+	invDegCOO map[*graph.BCOO][]float32
+	cscEdges  map[*graph.BCSR][]int32
 }
 
 // NewCtx builds a kernel context on the device.
 func NewCtx(dev *gpusim.Device) *Ctx {
 	return &Ctx{Dev: dev, Phases: metrics.NewBreakdown(), work: map[string]gpusim.Counters{}}
+}
+
+// memoCap is the backstop bound on the per-Ctx memo maps for callers that
+// never signal batch boundaries: when full, a memo map is cleared before
+// the next insert. The proper discipline is EndBatch, which releases the
+// memos (and the graph storage they pin) as soon as a batch completes.
+const memoCap = 8
+
+// EndBatch drops the per-graph memos so the batch's graph storage (which
+// the memo keys pin) becomes collectible. The per-SM scratch buffers are
+// retained — they are shape-dependent, not graph-dependent. Call it when
+// a training/inference batch's graphs are released.
+func (c *Ctx) EndBatch() {
+	clear(c.invDegCSR)
+	clear(c.invDegCOO)
+	clear(c.cscEdges)
+}
+
+// InvDeg returns 1/deg per dst (0 for isolated dsts) for csr, memoized on
+// the Ctx so every strategy, pass and layer sharing the graph within a
+// batch computes it once.
+func (c *Ctx) InvDeg(csr *graph.BCSR) []float32 {
+	if v, ok := c.invDegCSR[csr]; ok {
+		return v
+	}
+	if c.invDegCSR == nil {
+		c.invDegCSR = make(map[*graph.BCSR][]float32)
+	} else if len(c.invDegCSR) >= memoCap {
+		clear(c.invDegCSR)
+	}
+	v := invDegFromCSR(csr)
+	c.invDegCSR[csr] = v
+	return v
+}
+
+// InvDegCOO is InvDeg for edge-list storage.
+func (c *Ctx) InvDegCOO(coo *graph.BCOO) []float32 {
+	if v, ok := c.invDegCOO[coo]; ok {
+		return v
+	}
+	if c.invDegCOO == nil {
+		c.invDegCOO = make(map[*graph.BCOO][]float32)
+	} else if len(c.invDegCOO) >= memoCap {
+		clear(c.invDegCOO)
+	}
+	v := invDegFromCOO(coo)
+	c.invDegCOO[coo] = v
+	return v
+}
+
+// cscEdgeIDs returns edgeIDsForCSC(csr, csc) memoized by the CSR identity
+// (the CSC of a layer graph is derived from exactly one CSR).
+func (c *Ctx) cscEdgeIDs(csr *graph.BCSR, csc *graph.BCSC) []int32 {
+	if v, ok := c.cscEdges[csr]; ok {
+		return v
+	}
+	if c.cscEdges == nil {
+		c.cscEdges = make(map[*graph.BCSR][]int32)
+	} else if len(c.cscEdges) >= memoCap {
+		clear(c.cscEdges)
+	}
+	v := edgeIDsForCSC(csr, csc)
+	c.cscEdges[csr] = v
+	return v
+}
+
+// msgScratch returns numSMs reusable message-scratch rows of length dim
+// (contents undefined; kernels fully overwrite them per edge).
+func (c *Ctx) msgScratch(numSMs, dim int) [][]float32 {
+	return growScratch(&c.msgBuf, &c.msgViews, numSMs, dim)
+}
+
+// wScratch returns numSMs reusable edge-weight-scratch rows of length
+// cols. Distinct from msgScratch so one kernel may hold both.
+func (c *Ctx) wScratch(numSMs, cols int) [][]float32 {
+	return growScratch(&c.wBuf, &c.wViews, numSMs, cols)
+}
+
+func growScratch(buf *[]float32, views *[][]float32, n, dim int) [][]float32 {
+	need := n * dim
+	if cap(*buf) < need {
+		*buf = make([]float32, need)
+	}
+	*buf = (*buf)[:need]
+	if cap(*views) < n {
+		*views = make([][]float32, n)
+	}
+	*views = (*views)[:n]
+	for i := 0; i < n; i++ {
+		(*views)[i] = (*buf)[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return *views
 }
 
 // PhaseWork returns the device work accumulated under the named phase.

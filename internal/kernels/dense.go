@@ -111,11 +111,13 @@ func LinearBackward(ctx *Ctx, x, dy *DeviceMatrix, w, dw *tensor.Matrix, label s
 }
 
 // BiasReLU applies y = max(0, x + b) in place on device and returns the
-// pre-activation copy needed by the backward pass.
+// pre-activation copy needed by the backward pass. The copy is drawn from
+// the tensor pool; the consumer (the model's backward or inference path)
+// returns it with tensor.Put once the gradient no longer needs it.
 func BiasReLU(ctx *Ctx, x *DeviceMatrix, bias []float32) (pre *tensor.Matrix, err error) {
 	err = ctx.track(PhaseCombination, func() error {
 		k := ctx.Dev.StartKernel("bias-relu")
-		pre = tensor.New(x.M.Rows, x.M.Cols)
+		pre = tensor.Get(x.M.Rows, x.M.Cols)
 		runSMsChunked(k, x.M.Rows, func(sm *gpusim.SMContext, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				sm.Read(x.RowAddr(i), x.RowBytes())

@@ -119,6 +119,12 @@ func runSMs(k *gpusim.Kernel, n int, fn func(sm *gpusim.SMContext, unit int)) {
 // per SM (the scheduling NAPA uses: all features of one dst stay on one
 // SM, and consecutive dsts map to the same SM run).
 func runSMsChunked(k *gpusim.Kernel, n int, fn func(sm *gpusim.SMContext, lo, hi int)) {
+	runSMsChunkedIdx(k, n, func(sm *gpusim.SMContext, _, lo, hi int) { fn(sm, lo, hi) })
+}
+
+// runSMsChunkedIdx is runSMsChunked but also hands fn the SM index, which
+// kernels use to pick their per-SM scratch rows from the Ctx workspace.
+func runSMsChunkedIdx(k *gpusim.Kernel, n int, fn func(sm *gpusim.SMContext, smID, lo, hi int)) {
 	numSMs := k.NumSMs()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > numSMs {
@@ -137,7 +143,7 @@ func runSMsChunked(k *gpusim.Kernel, n int, fn func(sm *gpusim.SMContext, lo, hi
 			if hi > n {
 				hi = n
 			}
-			fn(k.SM(smID), lo, hi)
+			fn(k.SM(smID), smID, lo, hi)
 		}
 		return
 	}
@@ -154,7 +160,7 @@ func runSMsChunked(k *gpusim.Kernel, n int, fn func(sm *gpusim.SMContext, lo, hi
 				if hi > n {
 					hi = n
 				}
-				fn(k.SM(smID), lo, hi)
+				fn(k.SM(smID), smID, lo, hi)
 			}
 		}(w)
 	}

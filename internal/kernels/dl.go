@@ -82,7 +82,7 @@ func (DLApproach) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*Devic
 		if err != nil {
 			return err
 		}
-		invDeg := invDegFromCSR(csr)
+		invDeg := ctx.InvDeg(csr)
 		k := ctx.Dev.StartKernel("dl-scatter")
 		runSMsChunked(k, csr.NumDst, func(sm *gpusim.SMContext, lo, hi int) {
 			for d := lo; d < hi; d++ {
@@ -127,7 +127,7 @@ func (DLApproach) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Modes) 
 	}
 	dim := x.M.Cols
 	nEdges := csr.NumEdges()
-	invDeg := invDegFromCSR(csr)
+	invDeg := ctx.InvDeg(csr)
 
 	// Expand dOut to a dense per-edge gradient matrix (gather by dst).
 	var dMsgMat *DeviceMatrix
@@ -175,9 +175,9 @@ func (DLApproach) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Modes) 
 	if bwpErr != nil {
 		return nil, bwpErr
 	}
-	// Edge id mapping from CSC traversal: rebuild per-src edge ids from the
-	// CSR layout (position of (s,d) in CSR order).
-	edgeOfCSC := edgeIDsForCSC(csr, csc)
+	// Edge id mapping from CSC traversal: per-src edge ids in CSR order,
+	// memoized on the Ctx so repeated backward passes reuse the mapping.
+	edgeOfCSC := ctx.cscEdgeIDs(csr, csc)
 
 	var dx *DeviceMatrix
 	err = ctx.track(PhaseAggregation, func() error {

@@ -5,6 +5,7 @@ import (
 
 	"graphtensor/internal/gpusim"
 	"graphtensor/internal/graph"
+	"graphtensor/internal/tensor"
 )
 
 // GraphApproach is the DGL/FeatGraph-style strategy (§III, Fig 5b/5c):
@@ -36,7 +37,7 @@ func (GraphApproach) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*De
 		return nil, err
 	}
 	dim := x.M.Cols
-	invDeg := invDegFromCOO(coo)
+	invDeg := ctx.InvDegCOO(coo)
 
 	// SDDMM: edge-wise edge weighting straight off the COO arrays.
 	var wMat *DeviceMatrix
@@ -67,10 +68,9 @@ func (GraphApproach) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*De
 		k := ctx.Dev.StartKernel("ga-spmm")
 		numSMs := k.NumSMs()
 		partials := make([]map[int32][]float32, numSMs)
-		scratch := make([][]float32, numSMs)
+		scratch := ctx.msgScratch(numSMs, dim)
 		for i := range partials {
 			partials[i] = map[int32][]float32{}
-			scratch[i] = make([]float32, dim)
 		}
 		// Iterate edges in CSR (dst-major) order so each hop's edge id e
 		// aligns with wMat rows only when weighting came from CSR order;
@@ -93,7 +93,7 @@ func (GraphApproach) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*De
 				p := partials[smID]
 				row := p[d]
 				if row == nil {
-					row = make([]float32, dim)
+					row = tensor.GetSlice(dim)
 					p[d] = row
 				}
 				msg := scratch[smID]
@@ -124,6 +124,11 @@ func (GraphApproach) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*De
 			}
 		})
 		k.Finish()
+		for _, p := range partials {
+			for _, row := range p {
+				tensor.PutSlice(row)
+			}
+		}
 		_ = csr // CSR was required (and paid for); the merge ran dst-major
 		return nil
 	})
@@ -200,7 +205,7 @@ func (GraphApproach) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Mode
 		return nil, errors.New("kernels: backward gradient rows != NumDst")
 	}
 	dim := x.M.Cols
-	invDeg := invDegFromCOO(coo)
+	invDeg := ctx.InvDegCOO(coo)
 
 	var dx *DeviceMatrix
 	err = ctx.track(PhaseAggregation, func() error {
@@ -211,10 +216,7 @@ func (GraphApproach) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Mode
 		}
 		k := ctx.Dev.StartKernel("ga-spmm-bwp")
 		numSMs := k.NumSMs()
-		scratch := make([][]float32, numSMs)
-		for i := range scratch {
-			scratch[i] = make([]float32, dim)
-		}
+		scratch := ctx.msgScratch(numSMs, dim)
 		runSMs(k, csc.NumSrc, func(sm *gpusim.SMContext, s int) {
 			dMsg := scratch[s%numSMs]
 			sm.Read(x.RowAddr(s), x.RowBytes())
@@ -245,10 +247,9 @@ func (GraphApproach) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Mode
 			k := ctx.Dev.StartKernel("ga-sddmm-bwp")
 			numSMs := k.NumSMs()
 			partials := make([]map[int32][]float32, numSMs)
-			scratch := make([][]float32, numSMs)
+			scratch := ctx.msgScratch(numSMs, dim)
 			for i := range partials {
 				partials[i] = map[int32][]float32{}
-				scratch[i] = make([]float32, dim)
 			}
 			runSMs(k, coo.NumEdges(), func(sm *gpusim.SMContext, e int) {
 				smID := e % numSMs
@@ -266,7 +267,7 @@ func (GraphApproach) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Mode
 				p := partials[smID]
 				row := p[d]
 				if row == nil {
-					row = make([]float32, dim)
+					row = tensor.GetSlice(dim)
 					p[d] = row
 				}
 				sm.AddFLOPs(m.msgBackwardDst(x.M.Row(int(s)), x.M.Row(int(d)), dMsg, row))
@@ -288,6 +289,11 @@ func (GraphApproach) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Mode
 				}
 			})
 			k.Finish()
+			for _, p := range partials {
+				for _, row := range p {
+					tensor.PutSlice(row)
+				}
+			}
 			return nil
 		})
 		if err != nil {

@@ -45,12 +45,13 @@ func (NAPA) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*DeviceMatri
 		if err != nil {
 			return err
 		}
-		invDeg := invDegFromCSR(csr)
+		invDeg := ctx.InvDeg(csr)
 		k := ctx.Dev.StartKernel("napa-fused")
 		wCols := m.WeightCols(dim)
-		runSMsChunked(k, csr.NumDst, func(sm *gpusim.SMContext, lo, hi int) {
-			msg := make([]float32, dim)
-			w := make([]float32, maxIntK(wCols, 1))
+		msgS := ctx.msgScratch(k.NumSMs(), dim)
+		wS := ctx.wScratch(k.NumSMs(), maxIntK(wCols, 1))
+		runSMsChunkedIdx(k, csr.NumDst, func(sm *gpusim.SMContext, smID, lo, hi int) {
+			msg, w := msgS[smID], wS[smID]
 			for d := lo; d < hi; d++ {
 				var dstRow []float32
 				if m.HasEdgeWeight() {
@@ -161,10 +162,11 @@ func PullKernel(ctx *Ctx, csr *graph.BCSR, x, wMat *DeviceMatrix, m Modes) (*Dev
 		if err != nil {
 			return err
 		}
-		invDeg := invDegFromCSR(csr)
+		invDeg := ctx.InvDeg(csr)
 		k := ctx.Dev.StartKernel("napa-pull")
-		runSMsChunked(k, csr.NumDst, func(sm *gpusim.SMContext, lo, hi int) {
-			msg := make([]float32, dim)
+		msgS := ctx.msgScratch(k.NumSMs(), dim)
+		runSMsChunkedIdx(k, csr.NumDst, func(sm *gpusim.SMContext, smID, lo, hi int) {
+			msg := msgS[smID]
 			for d := lo; d < hi; d++ {
 				orow := out.M.Row(d)
 				scale := aggrScale(m, invDeg, graph.VID(d))
@@ -217,7 +219,7 @@ func (NAPA) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Modes) (*Devi
 		return nil, errors.New("kernels: backward gradient rows != NumDst")
 	}
 	dim := x.M.Cols
-	invDeg := invDegFromCSR(csr)
+	invDeg := ctx.InvDeg(csr)
 
 	var dx *DeviceMatrix
 	err = ctx.track(PhaseAggregation, func() error {
@@ -227,8 +229,9 @@ func (NAPA) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Modes) (*Devi
 			return err
 		}
 		k := ctx.Dev.StartKernel("napa-pull-bwp")
-		runSMsChunked(k, csc.NumSrc, func(sm *gpusim.SMContext, lo, hi int) {
-			dMsg := make([]float32, dim)
+		msgS := ctx.msgScratch(k.NumSMs(), dim)
+		runSMsChunkedIdx(k, csc.NumSrc, func(sm *gpusim.SMContext, smID, lo, hi int) {
+			dMsg := msgS[smID]
 			for s := lo; s < hi; s++ {
 				srcRow := x.M.Row(s)
 				sm.Read(x.RowAddr(s), x.RowBytes())
@@ -257,8 +260,9 @@ func (NAPA) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Modes) (*Devi
 	if m.HasDstGrad() {
 		err = ctx.track(PhaseEdgeWeight, func() error {
 			k := ctx.Dev.StartKernel("napa-neighborapply-bwp")
-			runSMsChunked(k, csr.NumDst, func(sm *gpusim.SMContext, lo, hi int) {
-				dMsg := make([]float32, dim)
+			msgS := ctx.msgScratch(k.NumSMs(), dim)
+			runSMsChunkedIdx(k, csr.NumDst, func(sm *gpusim.SMContext, smID, lo, hi int) {
+				dMsg := msgS[smID]
 				for d := lo; d < hi; d++ {
 					sm.Read(dOut.RowAddr(d), dOut.RowBytes())
 					sm.Read(x.RowAddr(d), x.RowBytes())

@@ -128,6 +128,7 @@ func (s *Scheduler) Prepare(batchDsts []graph.VID, tl *metrics.Timeline) (*prep.
 	go func() {
 		totalHops := L
 		for t := 0; t < totalHops; t++ {
+			t := t // capture per-iteration: the R subtask below outlives this iteration
 			st := time.Now()
 			hop := run.Step()
 			bd.Add("sample", time.Since(st))
@@ -160,7 +161,9 @@ func (s *Scheduler) Prepare(batchDsts []graph.VID, tl *metrics.Timeline) (*prep.
 			if t == 0 {
 				lo = 0 // include the batch vertices themselves
 			}
-			origs := res.Table.OrigVIDs()
+			// Read-only view: the K chunks only index below hi, which is
+			// already assigned, so later concurrent insertions are harmless.
+			origs := res.Table.OrigSlice(0, res.Table.Len())
 			for c := lo; c < hi; c += s.cfg.ChunkVertices {
 				cLo, cHi := c, c+s.cfg.ChunkVertices
 				if cHi > hi {

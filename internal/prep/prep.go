@@ -129,7 +129,7 @@ func BuildLayer(coo *graph.BCOO, format Format) LayerData {
 // Lookup gathers the embeddings of every sampled vertex into a new table
 // indexed by new VID (the K task).
 func Lookup(features *graph.EmbeddingTable, table *vidmap.Table) *graph.EmbeddingTable {
-	return features.Gather(table.OrigVIDs())
+	return features.Gather(table.OrigSlice(0, table.Len()))
 }
 
 // GraphBytes returns the device bytes layer structures occupy.

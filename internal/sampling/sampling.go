@@ -85,10 +85,27 @@ func (r *Result) ForLayer(layer int) *Hop {
 	return &r.Hops[len(r.Hops)-layer]
 }
 
-// Sampler samples subgraphs from a full graph.
+// Sampler samples subgraphs from a full graph. The sampler owns a scratch
+// pool so the per-hop worker buffers (candidate edge lists and the
+// duplicate-tracking window of Floyd's algorithm) are reused across Sample
+// calls instead of reallocated; a Sampler is safe for concurrent Sample
+// calls, each drawing its own scratch.
 type Sampler struct {
-	cfg  Config
-	full *graph.CSR
+	cfg     Config
+	full    *graph.CSR
+	scratch sync.Pool // *hopScratch
+}
+
+// hopScratch is the reusable workspace of one in-flight sampleHop call.
+type hopScratch struct {
+	chunks []hopChunk
+}
+
+// hopChunk is one worker's output buffer: parallel src/dst edge arrays
+// plus the chosen-index window Floyd's algorithm deduplicates against.
+type hopChunk struct {
+	src, dst []graph.VID
+	chosen   []int
 }
 
 // New creates a sampler over the full graph (CSR of in-neighbors).
@@ -134,7 +151,7 @@ func (s *Sampler) Begin(batch []graph.VID) *Run {
 		Batch: append([]graph.VID(nil), batch...),
 	}
 	// The batch occupies new VIDs [0, len(batch)) in batch order.
-	res.Table.AssignBatch(batch)
+	res.Table.InsertBatch(batch)
 	res.FrontierSizes = append(res.FrontierSizes, res.Table.Len())
 	return &Run{s: s, res: res, newDsts: append([]graph.VID(nil), batch...), t: 1}
 }
@@ -150,9 +167,9 @@ func (r *Run) Step() *Hop {
 		return nil
 	}
 	numDst := r.res.Table.Len()
-	src, dst := r.s.sampleHop(r.newDsts)
-	r.allSrc = append(r.allSrc, src...)
-	r.allDst = append(r.allDst, dst...)
+	srcStart := len(r.allSrc)
+	r.allSrc, r.allDst = r.s.sampleHop(r.newDsts, r.allSrc, r.allDst)
+	src := r.allSrc[srcStart:]
 	// Allocate new VIDs for freshly seen srcs; the next hop samples
 	// neighbors only for those.
 	r.newDsts = r.s.admit(r.res.Table, src)
@@ -170,12 +187,11 @@ func (r *Run) Step() *Hop {
 // Result returns the sampling result; valid once Done.
 func (r *Run) Result() *Result { return r.res }
 
-// sampleHop samples neighbors for each dst in parallel, returning the hop's
-// new edges in deterministic (dst-major) order.
-func (s *Sampler) sampleHop(dsts []graph.VID) (src, dst []graph.VID) {
-	type chunk struct {
-		src, dst []graph.VID
-	}
+// sampleHop samples neighbors for each dst in parallel, appending the
+// hop's new edges in deterministic (dst-major) order onto src/dst and
+// returning the grown slices. Worker buffers come from the sampler's
+// scratch pool and are reused across calls.
+func (s *Sampler) sampleHop(dsts []graph.VID, src, dst []graph.VID) ([]graph.VID, []graph.VID) {
 	workers := s.cfg.Workers
 	if workers > len(dsts) {
 		workers = len(dsts)
@@ -183,7 +199,14 @@ func (s *Sampler) sampleHop(dsts []graph.VID) (src, dst []graph.VID) {
 	if workers < 1 {
 		workers = 1
 	}
-	chunks := make([]chunk, workers)
+	sc, _ := s.scratch.Get().(*hopScratch)
+	if sc == nil {
+		sc = &hopScratch{}
+	}
+	if cap(sc.chunks) < workers {
+		sc.chunks = make([]hopChunk, workers)
+	}
+	sc.chunks = sc.chunks[:workers]
 	var wg sync.WaitGroup
 	per := (len(dsts) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -192,61 +215,68 @@ func (s *Sampler) sampleHop(dsts []graph.VID) (src, dst []graph.VID) {
 			hi = len(dsts)
 		}
 		if lo >= hi {
+			sc.chunks[w].src = sc.chunks[w].src[:0]
+			sc.chunks[w].dst = sc.chunks[w].dst[:0]
 			continue
 		}
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			c := &chunks[w]
+			c := &sc.chunks[w]
+			c.src, c.dst = c.src[:0], c.dst[:0]
 			for _, d := range dsts[lo:hi] {
-				neighbors := s.chooseNeighbors(d)
-				for _, n := range neighbors {
-					c.src = append(c.src, n)
-					c.dst = append(c.dst, d)
-				}
+				s.appendNeighbors(d, c)
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	for _, c := range chunks {
-		src = append(src, c.src...)
-		dst = append(dst, c.dst...)
+	for i := range sc.chunks {
+		src = append(src, sc.chunks[i].src...)
+		dst = append(dst, sc.chunks[i].dst...)
 	}
+	s.scratch.Put(sc)
 	return src, dst
 }
 
-// chooseNeighbors picks up to Fanout unique random in-neighbors of d (plus
-// the self edge), deterministically in d and the sampler seed.
-func (s *Sampler) chooseNeighbors(d graph.VID) []graph.VID {
+// appendNeighbors picks up to Fanout unique random in-neighbors of d (plus
+// the self edge), deterministically in d and the sampler seed, appending
+// the (src, dst) pairs onto the worker chunk.
+func (s *Sampler) appendNeighbors(d graph.VID, c *hopChunk) {
 	adj := s.full.Neighbors(d)
-	out := make([]graph.VID, 0, s.cfg.Fanout+1)
 	if s.cfg.IncludeSelf {
-		out = append(out, d)
+		c.src = append(c.src, d)
+		c.dst = append(c.dst, d)
 	}
 	if len(adj) <= s.cfg.Fanout {
 		for _, n := range adj {
 			if n != d || !s.cfg.IncludeSelf {
-				out = append(out, n)
+				c.src = append(c.src, n)
+				c.dst = append(c.dst, d)
 			}
 		}
-		return out
+		return
 	}
-	// Floyd's algorithm: Fanout distinct indices from [0, len(adj)).
+	// Floyd's algorithm: Fanout distinct indices from [0, len(adj)). The
+	// chosen window holds at most Fanout entries, so a linear scan beats a
+	// map (and allocates nothing).
 	rng := tensor.NewRNG(s.cfg.Seed ^ (uint64(d)+1)*0x9e3779b97f4a7c15)
-	chosen := make(map[int]struct{}, s.cfg.Fanout)
+	c.chosen = c.chosen[:0]
 	for j := len(adj) - s.cfg.Fanout; j < len(adj); j++ {
 		t := rng.Intn(j + 1)
-		if _, dup := chosen[t]; dup {
-			t = j
+		for _, prev := range c.chosen {
+			if prev == t {
+				t = j
+				break
+			}
 		}
-		chosen[t] = struct{}{}
+		c.chosen = append(c.chosen, t)
 		n := adj[t]
 		if n == d && s.cfg.IncludeSelf {
 			continue
 		}
-		out = append(out, n)
+		c.src = append(c.src, n)
+		c.dst = append(c.dst, d)
 	}
-	return out
 }
 
 // admit allocates new VIDs for freshly seen srcs and returns the list of
@@ -264,9 +294,9 @@ func (s *Sampler) admit(table *vidmap.Table, srcs []graph.VID) []graph.VID {
 
 func (s *Sampler) admitSplit(table *vidmap.Table, srcs []graph.VID) []graph.VID {
 	before := table.Len()
-	table.AssignBatch(srcs)
-	origs := table.OrigVIDs()
-	return origs[before:]
+	table.InsertBatch(srcs)
+	// Read-only view of the freshly assigned range; no copy.
+	return table.OrigSlice(before, table.Len())
 }
 
 func (s *Sampler) admitShared(table *vidmap.Table, srcs []graph.VID) []graph.VID {

@@ -110,6 +110,34 @@ func (t *Table) AssignBatch(origs []graph.VID) []graph.VID {
 	return out
 }
 
+// InsertBatch is AssignBatch for callers that do not need the per-orig new
+// VIDs: it performs the same serialized H-subtask insertion under one lock
+// acquisition but materializes no result slice, so the steady-state
+// sampling path allocates nothing here.
+func (t *Table) InsertBatch(origs []graph.VID) {
+	start := time.Now()
+	t.mu.Lock()
+	t.lockWaitNs.Add(int64(time.Since(start)))
+	t.lockOps.Add(1)
+	defer t.mu.Unlock()
+	for _, o := range origs {
+		if _, ok := t.m[o]; ok {
+			continue
+		}
+		t.m[o] = graph.VID(len(t.order))
+		t.order = append(t.order, o)
+	}
+}
+
+// OrigSlice returns the original VIDs of new VIDs [lo, hi) as a read-only
+// view of the table's allocation order — no copy is made. The view stays
+// valid as entries are only ever appended; callers must not mutate it.
+func (t *Table) OrigSlice(lo, hi int) []graph.VID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.order[lo:hi:hi]
+}
+
 // Len returns the number of allocated new VIDs.
 func (t *Table) Len() int {
 	t.mu.Lock()

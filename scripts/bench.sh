@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Capture a hot-path micro-benchmark snapshot into BENCH_<n>.json.
+#
+# Usage (from the repository root):
+#   scripts/bench.sh                  # writes BENCH_1.json with 5 samples
+#   OUT=BENCH_2.json scripts/bench.sh # next point on the perf trajectory
+#   COUNT=10 scripts/bench.sh         # more samples per benchmark
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/gtbench -micro -count "${COUNT:-5}" -out "${OUT:-BENCH_1.json}"
