@@ -9,6 +9,7 @@
 package graphtensor
 
 import (
+	"runtime"
 	"testing"
 
 	"graphtensor/internal/datasets"
@@ -117,6 +118,25 @@ func BenchmarkMatMul(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulParallel measures the pooled parallel GEMM path: the same
+// shape as BenchmarkMatMul dispatched onto the persistent worker pool at 8
+// workers (forced, so the scaling is visible even on small CI boxes). The
+// destination-passing form keeps the loop allocation-free.
+func BenchmarkMatMulParallel(b *testing.B) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	rng := tensor.NewRNG(2)
+	x := tensor.Random(512, 128, 1, rng)
+	w := tensor.Random(128, 64, 1, rng)
+	dst := tensor.Get(512, 64)
+	defer tensor.Put(dst)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMulInto(dst, x, w)
+	}
+}
+
 func BenchmarkCOOToCSR(b *testing.B) {
 	rng := tensor.NewRNG(3)
 	n, e := 5000, 30000
@@ -152,6 +172,29 @@ func BenchmarkTrainBatchPreproGT(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tr.TrainBatch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainEpoch is the steady-state end-to-end benchmark: 8 batches
+// per op through the depth-N prefetch ring (preprocessing of batch t+1
+// overlapping compute of batch t, arena-recycled buffers), the discipline
+// train.Driver runs production epochs under.
+func BenchmarkTrainEpoch(b *testing.B) {
+	ds, err := datasets.Generate("products", datasets.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := frameworks.DefaultOptions()
+	tr, err := frameworks.New(frameworks.PreproGT, ds, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.TrainEpoch(8); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -32,6 +32,7 @@ import (
 	"graphtensor/internal/pipeline"
 	"graphtensor/internal/prep"
 	"graphtensor/internal/sampling"
+	"graphtensor/internal/tensor"
 )
 
 // Kind identifies a framework build.
@@ -96,20 +97,28 @@ type Options struct {
 	Device    gpusim.Config
 	// LearningRate for TrainBatch's SGD step.
 	LearningRate float32
+	// PrefetchDepth is how many batches ahead the prefetch ring prepares
+	// for overlap-capable frameworks (<=0 defaults to 2). Ignored by the
+	// serial baselines. Device footprint: up to depth+2 batches hold
+	// device buffers at once (prepared-ahead + in-compute), plus one more
+	// during a concurrent validation Prepare — size gpusim memory (or
+	// lower the depth) accordingly.
+	PrefetchDepth int
 }
 
 // DefaultOptions mirrors the paper's experimental setup, scaled alongside
 // the datasets.
 func DefaultOptions() Options {
 	return Options{
-		Model:        "gcn",
-		Hidden:       8, // paper's 64 divided by the feature scale (8)
-		Layers:       2,
-		BatchSize:    300,
-		Fanout:       4,
-		Seed:         1,
-		Device:       gpusim.DefaultConfig(),
-		LearningRate: 0.05,
+		Model:         "gcn",
+		Hidden:        8, // paper's 64 divided by the feature scale (8)
+		Layers:        2,
+		BatchSize:     300,
+		Fanout:        4,
+		Seed:          1,
+		Device:        gpusim.DefaultConfig(),
+		LearningRate:  0.05,
+		PrefetchDepth: 2,
 	}
 }
 
@@ -197,11 +206,43 @@ type BatchStats struct {
 // Prepare runs the framework's preprocessing for one batch of dst
 // vertices.
 func (t *Trainer) Prepare(dsts []graph.VID, tl *metrics.Timeline) (*prep.Batch, error) {
+	return t.PrepareInto(dsts, tl, nil)
+}
+
+// PrepareInto is Prepare with the batch's host buffers drawn from a
+// batch-scoped arena (nil falls back to plain allocation); the prefetch
+// ring passes one arena per in-flight batch.
+func (t *Trainer) PrepareInto(dsts []graph.VID, tl *metrics.Timeline, arena *tensor.Arena) (*prep.Batch, error) {
 	if t.sched != nil {
-		return t.sched.Prepare(dsts, tl)
+		return t.sched.PrepareArena(dsts, tl, arena)
 	}
-	return pipeline.Serial(t.Dataset.Graph, t.Dataset.Features, t.Dataset.Labels,
-		t.Engine.Dev, dsts, t.samplerCfg, t.format, t.pinned)
+	return pipeline.SerialArena(t.Dataset.Graph, t.Dataset.Features, t.Dataset.Labels,
+		t.Engine.Dev, dsts, t.samplerCfg, t.format, t.pinned, arena)
+}
+
+// NewRing builds this framework's prefetch ring over the dst lists:
+// overlap-capable frameworks prepare PrefetchDepth batches ahead on a
+// background producer; the serial baselines get a synchronous depth-0 ring
+// so every framework trains through the same interface.
+func (t *Trainer) NewRing(lists [][]graph.VID) *pipeline.Ring {
+	return t.NewRingN(len(lists), func(i int) []graph.VID { return lists[i] })
+}
+
+// NewRingN is NewRing with the n dst lists drawn lazily from next, so long
+// schedules (the training driver feeds whole runs through one ring) never
+// materialize every batch's dst list up front. next runs on the ring's
+// producer goroutine; it must not be shared with concurrent dst drawing.
+func (t *Trainer) NewRingN(n int, next func(i int) []graph.VID) *pipeline.Ring {
+	depth := 0
+	if t.overlap {
+		depth = t.Opt.PrefetchDepth
+		if depth <= 0 {
+			depth = 2
+		}
+	}
+	return pipeline.NewRingFunc(depth, n, next, func(d []graph.VID, a *tensor.Arena) (*prep.Batch, error) {
+		return t.PrepareInto(d, nil, a)
+	})
 }
 
 // input converts a prepared batch to a model input.
@@ -272,8 +313,8 @@ func (t *Trainer) TrainBatch() (*BatchStats, error) {
 }
 
 // TrainEpoch runs n batches under the framework's overlap discipline
-// (prefetching the next batch during compute where the framework supports
-// it) and returns the end-to-end wall time plus the mean loss.
+// (prefetching ahead through the ring where the framework supports it) and
+// returns the end-to-end wall time plus the mean loss.
 func (t *Trainer) TrainEpoch(n int) (time.Duration, float64, error) {
 	if n <= 0 {
 		return 0, 0, nil
@@ -282,39 +323,34 @@ func (t *Trainer) TrainEpoch(n int) (time.Duration, float64, error) {
 	for i := range dstLists {
 		dstLists[i] = t.nextDsts()
 	}
+	ring := t.NewRing(dstLists)
+	defer ring.Stop()
+	return t.TrainStream(ring, n)
+}
+
+// TrainStream consumes n prepared batches from the ring, running compute +
+// update on each, and returns the wall time plus the mean loss. The ring
+// may span multiple epochs (the training driver feeds one ring with the
+// whole schedule so preprocessing of epoch e+1 overlaps the tail of epoch
+// e); the caller owns stopping it.
+func (t *Trainer) TrainStream(ring *pipeline.Ring, n int) (time.Duration, float64, error) {
+	if n <= 0 {
+		return 0, 0, nil
+	}
 	start := time.Now()
 	var lossSum float64
-	if t.overlap {
-		pf := pipeline.NewPrefetcher(func(d []graph.VID) (*prep.Batch, error) { return t.Prepare(d, nil) })
-		for i := 0; i < n; i++ {
-			var next []graph.VID
-			if i+1 < n {
-				next = dstLists[i+1]
-			}
-			b, err := pf.Next(dstLists[i], next)
-			if err != nil {
-				return 0, 0, err
-			}
-			loss, err := t.Compute(b)
-			if err != nil {
-				return 0, 0, err
-			}
-			lossSum += loss
-			b.Release()
+	for i := 0; i < n; i++ {
+		b, err := ring.Next()
+		if err != nil {
+			return 0, 0, err
 		}
-	} else {
-		for i := 0; i < n; i++ {
-			b, err := t.Prepare(dstLists[i], nil)
-			if err != nil {
-				return 0, 0, err
-			}
-			loss, err := t.Compute(b)
-			if err != nil {
-				return 0, 0, err
-			}
-			lossSum += loss
+		loss, err := t.Compute(b)
+		if err != nil {
 			b.Release()
+			return 0, 0, err
 		}
+		lossSum += loss
+		b.Release()
 	}
 	return time.Since(start), lossSum / float64(n), nil
 }
@@ -419,6 +455,10 @@ func (t *Trainer) Warmup(n int) error {
 	_, _ = t.Model.FitDKP()
 	return nil
 }
+
+// NextDsts draws the next deterministic batch of dst vertices — the
+// sequence the epoch drivers feed into the prefetch ring.
+func (t *Trainer) NextDsts() []graph.VID { return t.nextDsts() }
 
 // nextDsts draws the next deterministic batch of dst vertices.
 func (t *Trainer) nextDsts() []graph.VID {

@@ -187,6 +187,21 @@ func (d *Device) MemInUse() int64 {
 	return d.inUse
 }
 
+// BuffersInUse returns how many live allocations carry the label. Tests use
+// it to assert a subsystem released everything it allocated (e.g. that the
+// prefetch ring's drain freed every batch buffer).
+func (d *Device) BuffersInUse(label string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, b := range d.buffers {
+		if b.label == label {
+			n++
+		}
+	}
+	return n
+}
+
 // MemPeak returns the high-water mark since the last ResetPeak.
 func (d *Device) MemPeak() int64 {
 	d.mu.Lock()

@@ -108,7 +108,9 @@ func (g *BCSC) Validate() error {
 }
 
 // BCOOToBCSR translates the edge list into the dst-indexed format via a
-// stable counting sort, reporting the translation work (Fig 5c top).
+// stable counting sort, reporting the translation work (Fig 5c top). Large
+// translations run chunk-parallel on the shared worker pool with pooled
+// scratch; the output is bitwise identical either way.
 func BCOOToBCSR(g *BCOO) (*BCSR, TranslationStats) {
 	m := g.NumEdges()
 	stats := TranslationStats{
@@ -118,19 +120,7 @@ func BCOOToBCSR(g *BCOO) (*BCSR, TranslationStats) {
 		ComparisonsUsed: sortCost(m),
 	}
 	out := &BCSR{NumDst: g.NumDst, NumSrc: g.NumSrc, Ptr: make([]int32, g.NumDst+1), Srcs: make([]VID, m)}
-	for _, d := range g.Dst {
-		out.Ptr[d+1]++
-	}
-	for i := 0; i < g.NumDst; i++ {
-		out.Ptr[i+1] += out.Ptr[i]
-	}
-	cursor := make([]int32, g.NumDst)
-	copy(cursor, out.Ptr[:g.NumDst])
-	for e := 0; e < m; e++ {
-		d := g.Dst[e]
-		out.Srcs[cursor[d]] = g.Src[e]
-		cursor[d]++
-	}
+	countingSortByKey(g.Dst, g.Src, out.Srcs, g.NumDst, out.Ptr)
 	return out, stats
 }
 
@@ -144,19 +134,7 @@ func BCOOToBCSC(g *BCOO) (*BCSC, TranslationStats) {
 		ComparisonsUsed: sortCost(m),
 	}
 	out := &BCSC{NumDst: g.NumDst, NumSrc: g.NumSrc, Ptr: make([]int32, g.NumSrc+1), Dsts: make([]VID, m)}
-	for _, s := range g.Src {
-		out.Ptr[s+1]++
-	}
-	for i := 0; i < g.NumSrc; i++ {
-		out.Ptr[i+1] += out.Ptr[i]
-	}
-	cursor := make([]int32, g.NumSrc)
-	copy(cursor, out.Ptr[:g.NumSrc])
-	for e := 0; e < m; e++ {
-		s := g.Src[e]
-		out.Dsts[cursor[s]] = g.Dst[e]
-		cursor[s]++
-	}
+	countingSortByKey(g.Src, g.Dst, out.Dsts, g.NumSrc, out.Ptr)
 	return out, stats
 }
 
@@ -177,23 +155,22 @@ func BCSRToBCOO(g *BCSR) *BCOO {
 
 // BCSRToBCSC converts the FWP layout to the BWP layout directly, without
 // passing through COO (GraphTensor does this during preprocessing, off the
-// training critical path).
+// training critical path). The per-edge dst keys are expanded into pooled
+// scratch so the conversion reuses the same (possibly parallel) stable
+// counting sort as the COO translations.
 func BCSRToBCSC(g *BCSR) *BCSC {
-	out := &BCSC{NumDst: g.NumDst, NumSrc: g.NumSrc, Ptr: make([]int32, g.NumSrc+1), Dsts: make([]VID, g.NumEdges())}
-	for _, s := range g.Srcs {
-		out.Ptr[s+1]++
-	}
-	for i := 0; i < g.NumSrc; i++ {
-		out.Ptr[i+1] += out.Ptr[i]
-	}
-	cursor := make([]int32, g.NumSrc)
-	copy(cursor, out.Ptr[:g.NumSrc])
+	m := g.NumEdges()
+	out := &BCSC{NumDst: g.NumDst, NumSrc: g.NumSrc, Ptr: make([]int32, g.NumSrc+1), Dsts: make([]VID, m)}
+	valp := geti32Dirty(m) // every entry is written below
+	vals := *valp
 	for d := 0; d < g.NumDst; d++ {
-		for _, s := range g.Neighbors(VID(d)) {
-			out.Dsts[cursor[s]] = VID(d)
-			cursor[s]++
+		seg := vals[g.Ptr[d]:g.Ptr[d+1]]
+		for i := range seg {
+			seg[i] = VID(d)
 		}
 	}
+	countingSortByKey(g.Srcs, vals, out.Dsts, g.NumSrc, out.Ptr)
+	puti32(valp)
 	return out
 }
 

@@ -22,6 +22,17 @@ func NewEmbeddingTable(n, dim int) *EmbeddingTable {
 	return &EmbeddingTable{Dim: dim, Data: tensor.New(n, dim)}
 }
 
+// NewEmbeddingTableArena allocates the table storage from a batch-scoped
+// arena, so per-batch embedding tables are recycled instead of reallocated
+// (the prefetch-ring discipline). A nil arena falls back to a plain
+// allocation.
+func NewEmbeddingTableArena(a *tensor.Arena, n, dim int) *EmbeddingTable {
+	if a == nil {
+		return NewEmbeddingTable(n, dim)
+	}
+	return &EmbeddingTable{Dim: dim, Data: a.Get(n, dim)}
+}
+
 // RandomEmbeddingTableForTest fills a table with a simple deterministic
 // pattern (row v, column c = v + c/100) so tests can construct embeddings
 // without importing the tensor RNG. It is exported for use by sibling

@@ -150,19 +150,8 @@ func COOToCSR(g *COO) (*CSR, TranslationStats) {
 	}
 	csr := &CSR{NumVertices: n, Ptr: make([]int32, n+1), Srcs: make([]VID, m)}
 	// Counting sort by dst: stable, O(V+E), matches the GPU radix path.
-	for _, d := range g.Dst {
-		csr.Ptr[d+1]++
-	}
-	for i := 0; i < n; i++ {
-		csr.Ptr[i+1] += csr.Ptr[i]
-	}
-	cursor := make([]int32, n)
-	copy(cursor, csr.Ptr[:n])
-	for e := 0; e < m; e++ {
-		d := g.Dst[e]
-		csr.Srcs[cursor[d]] = g.Src[e]
-		cursor[d]++
-	}
+	// Large graphs sort chunk-parallel on the worker pool (parsort.go).
+	countingSortByKey(g.Dst, g.Src, csr.Srcs, n, csr.Ptr)
 	stats.BufferBytes += int64(n) * 4 // cursor array
 	return csr, stats
 }
@@ -179,19 +168,7 @@ func COOToCSC(g *COO) (*CSC, TranslationStats) {
 		ComparisonsUsed: sortCost(m),
 	}
 	csc := &CSC{NumVertices: n, Ptr: make([]int32, n+1), Dsts: make([]VID, m)}
-	for _, s := range g.Src {
-		csc.Ptr[s+1]++
-	}
-	for i := 0; i < n; i++ {
-		csc.Ptr[i+1] += csc.Ptr[i]
-	}
-	cursor := make([]int32, n)
-	copy(cursor, csc.Ptr[:n])
-	for e := 0; e < m; e++ {
-		s := g.Src[e]
-		csc.Dsts[cursor[s]] = g.Dst[e]
-		cursor[s]++
-	}
+	countingSortByKey(g.Src, g.Dst, csc.Dsts, n, csc.Ptr)
 	return csc, stats
 }
 

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"sync"
+
+	"graphtensor/internal/sched"
+)
+
+// Parallel, pooled counting sort for the COO→CSR/CSC format translations.
+//
+// Every translation in this package is a stable counting sort of the edge
+// payload by a key array (dst VIDs for CSR, src VIDs for CSC). Above
+// parSortMinEdges the sort runs in three phases on the shared worker pool:
+// per-chunk key histograms, a serial cursor build (each chunk's private
+// write cursor per key = the global prefix plus the counts of earlier
+// chunks), and a parallel per-chunk scatter. Because every edge's output
+// position is fully determined by (keys, chunk boundaries) — both fixed
+// before any worker runs — the result is bitwise identical to the serial
+// sort at any worker count. The histogram/cursor scratch is pooled, so
+// steady-state translations allocate only their output arrays.
+
+// parSortMinEdges is the edge count below which the serial counting sort
+// wins (dispatch + histogram merge overhead dominates under it).
+const parSortMinEdges = 1 << 14
+
+// parSortMaxChunks bounds the scratch to parSortMaxChunks×numKeys int32s.
+const parSortMaxChunks = 8
+
+var i32Pool sync.Pool
+
+// geti32 returns a zeroed pooled []int32 of length n.
+func geti32(n int) *[]int32 {
+	v := geti32Dirty(n)
+	clear(*v)
+	return v
+}
+
+// geti32Dirty is geti32 without the zeroing pass, for scratch the caller
+// fully overwrites (cursor copies, per-edge key expansion).
+func geti32Dirty(n int) *[]int32 {
+	v, _ := i32Pool.Get().(*[]int32)
+	if v == nil {
+		s := make([]int32, n)
+		return &s
+	}
+	s := *v
+	if cap(s) < n {
+		s = make([]int32, n)
+	} else {
+		s = s[:n]
+	}
+	*v = s
+	return v
+}
+
+func puti32(v *[]int32) { i32Pool.Put(v) }
+
+// parSort is the dispatch context of one parallel counting sort.
+type parSort struct {
+	keys, vals, out []VID
+	counts          []int32
+	nk, chunk       int
+}
+
+var parSortPool = sync.Pool{New: func() any { return new(parSort) }}
+
+func parSortHist(ctx any, lo, hi int) {
+	s := ctx.(*parSort)
+	base := lo / s.chunk * s.nk
+	counts := s.counts[base : base+s.nk]
+	for _, k := range s.keys[lo:hi] {
+		counts[k]++
+	}
+}
+
+func parSortScatter(ctx any, lo, hi int) {
+	s := ctx.(*parSort)
+	base := lo / s.chunk * s.nk
+	cur := s.counts[base : base+s.nk]
+	for e := lo; e < hi; e++ {
+		k := s.keys[e]
+		s.out[cur[k]] = s.vals[e]
+		cur[k]++
+	}
+}
+
+// countingSortByKey stable-sorts vals by keys (values in [0, nk)) into out
+// (len(keys)) and fills ptr (len nk+1, prefix-summed key histogram). It
+// parallelizes over edge chunks when the sort is large enough and the
+// process has spare parallelism, falling back to the serial construction
+// otherwise; both paths produce identical bytes.
+func countingSortByKey(keys, vals, out []VID, nk int, ptr []int32) {
+	m := len(keys)
+	workers := sched.Workers(m)
+	if m < parSortMinEdges || workers <= 1 {
+		for _, k := range keys {
+			ptr[k+1]++
+		}
+		for i := 0; i < nk; i++ {
+			ptr[i+1] += ptr[i]
+		}
+		curp := geti32Dirty(nk)
+		cursor := *curp
+		copy(cursor, ptr[:nk])
+		for e, k := range keys {
+			out[cursor[k]] = vals[e]
+			cursor[k]++
+		}
+		puti32(curp)
+		return
+	}
+
+	nChunks := workers
+	if nChunks > parSortMaxChunks {
+		nChunks = parSortMaxChunks
+	}
+	chunk := (m + nChunks - 1) / nChunks
+	nChunks = (m + chunk - 1) / chunk
+
+	countp := geti32(nChunks * nk)
+	s := parSortPool.Get().(*parSort)
+	s.keys, s.vals, s.out, s.counts, s.nk, s.chunk = keys, vals, out, *countp, nk, chunk
+
+	sched.RunChunk(m, chunk, workers, s, parSortHist)
+
+	// Global prefix + per-chunk cursors, in one pass per key: chunk c's
+	// first write position for key d is ptr[d] plus everything chunks
+	// before it counted for d.
+	counts := s.counts
+	for d := 0; d < nk; d++ {
+		total := int32(0)
+		for c := 0; c < nChunks; c++ {
+			total += counts[c*nk+d]
+		}
+		ptr[d+1] = ptr[d] + total
+		running := ptr[d]
+		for c := 0; c < nChunks; c++ {
+			t := counts[c*nk+d]
+			counts[c*nk+d] = running
+			running += t
+		}
+	}
+
+	sched.RunChunk(m, chunk, workers, s, parSortScatter)
+
+	*s = parSort{}
+	parSortPool.Put(s)
+	puti32(countp)
+}

@@ -40,6 +40,11 @@ type Ctx struct {
 	wBuf     []float32
 	wViews   [][]float32
 
+	// acc is the reusable flat-indexed partial accumulator the
+	// Graph-approach kernels use in place of per-SM partial maps. Launches
+	// within a Ctx are sequential, so one instance serves every kernel.
+	acc flatAccum
+
 	// Memoized per-graph derivations, keyed by the storage object identity.
 	invDegCSR map[*graph.BCSR][]float32
 	invDegCOO map[*graph.BCOO][]float32
@@ -119,6 +124,14 @@ func (c *Ctx) cscEdgeIDs(csr *graph.BCSR, csc *graph.BCSC) []int32 {
 // (contents undefined; kernels fully overwrite them per edge).
 func (c *Ctx) msgScratch(numSMs, dim int) [][]float32 {
 	return growScratch(&c.msgBuf, &c.msgViews, numSMs, dim)
+}
+
+// partials returns the Ctx's flat accumulator reset for a launch of numSMs
+// SMs over rows dsts of width dim, where one SM touches at most perSM
+// distinct dsts (its share of the edges).
+func (c *Ctx) partials(numSMs, rows, dim, perSM int) *flatAccum {
+	c.acc.reset(numSMs, rows, dim, perSM)
+	return &c.acc
 }
 
 // wScratch returns numSMs reusable edge-weight-scratch rows of length

@@ -19,10 +19,10 @@
 package kernels
 
 import (
-	"runtime"
 	"sync"
 
 	"graphtensor/internal/gpusim"
+	"graphtensor/internal/sched"
 	"graphtensor/internal/tensor"
 )
 
@@ -78,17 +78,69 @@ func (dm *DeviceMatrix) Free() {
 	}
 }
 
+// smRun carries one simulated kernel launch onto the shared worker pool.
+// The dispatch unit is the SM index: each claimed SM is processed start to
+// finish by exactly one participant, so per-SM access streams — and with
+// them the modeled counters — are deterministic at any worker count.
+// Instances are pooled so steady-state launches allocate only the kernel
+// body's own closure.
+type smRun struct {
+	k      *gpusim.Kernel
+	n      int
+	numSMs int
+	chunk  int
+	fn     func(sm *gpusim.SMContext, unit int)
+	fnIdx  func(sm *gpusim.SMContext, smID, lo, hi int)
+}
+
+var smRunPool = sync.Pool{New: func() any { return new(smRun) }}
+
+func getSMRun(k *gpusim.Kernel, n int) *smRun {
+	r := smRunPool.Get().(*smRun)
+	r.k, r.n, r.numSMs = k, n, k.NumSMs()
+	return r
+}
+
+func putSMRun(r *smRun) {
+	*r = smRun{}
+	smRunPool.Put(r)
+}
+
+// smStripeTask replays units u ≡ smID (mod numSMs) on each claimed SM, in
+// ascending unit order — the same per-SM stream the serial path produces.
+func smStripeTask(ctx any, lo, hi int) {
+	r := ctx.(*smRun)
+	for smID := lo; smID < hi; smID++ {
+		sm := r.k.SM(smID)
+		for u := smID; u < r.n; u += r.numSMs {
+			r.fn(sm, u)
+		}
+	}
+}
+
+// smChunkTask hands each claimed SM its contiguous [lo,hi) unit range.
+func smChunkTask(ctx any, lo, hi int) {
+	r := ctx.(*smRun)
+	for smID := lo; smID < hi; smID++ {
+		cLo, cHi := smID*r.chunk, (smID+1)*r.chunk
+		if cLo >= r.n {
+			return
+		}
+		if cHi > r.n {
+			cHi = r.n
+		}
+		r.fnIdx(r.k.SM(smID), smID, cLo, cHi)
+	}
+}
+
 // runSMs executes a kernel across the simulated SMs: work unit u of n is
 // processed on SM (u mod NumSMs) in per-SM submission order. Real
-// parallelism uses up to GOMAXPROCS goroutines, each owning a disjoint set
-// of SM contexts, so access recording is race-free and the per-SM access
-// streams are deterministic.
+// parallelism dispatches SM indices onto the shared worker pool; each SM
+// context is claimed by exactly one participant, so access recording is
+// race-free and the per-SM access streams are deterministic.
 func runSMs(k *gpusim.Kernel, n int, fn func(sm *gpusim.SMContext, unit int)) {
 	numSMs := k.NumSMs()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > numSMs {
-		workers = numSMs
-	}
+	workers := sched.Workers(numSMs)
 	if n == 0 {
 		return
 	}
@@ -98,21 +150,10 @@ func runSMs(k *gpusim.Kernel, n int, fn func(sm *gpusim.SMContext, unit int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			// Goroutine w owns SMs w, w+workers, w+2*workers, ...
-			for smID := w; smID < numSMs; smID += workers {
-				sm := k.SM(smID)
-				for u := smID; u < n; u += numSMs {
-					fn(sm, u)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
+	r := getSMRun(k, n)
+	r.fn = fn
+	sched.RunChunk(numSMs, 1, workers, r, smStripeTask)
+	putSMRun(r)
 }
 
 // runSMsChunked partitions n work units into NumSMs contiguous chunks, one
@@ -126,10 +167,7 @@ func runSMsChunked(k *gpusim.Kernel, n int, fn func(sm *gpusim.SMContext, lo, hi
 // kernels use to pick their per-SM scratch rows from the Ctx workspace.
 func runSMsChunkedIdx(k *gpusim.Kernel, n int, fn func(sm *gpusim.SMContext, smID, lo, hi int)) {
 	numSMs := k.NumSMs()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > numSMs {
-		workers = numSMs
-	}
+	workers := sched.Workers(numSMs)
 	if n == 0 {
 		return
 	}
@@ -147,22 +185,8 @@ func runSMsChunkedIdx(k *gpusim.Kernel, n int, fn func(sm *gpusim.SMContext, smI
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for smID := w; smID < numSMs; smID += workers {
-				lo, hi := smID*chunk, (smID+1)*chunk
-				if lo >= n {
-					continue
-				}
-				if hi > n {
-					hi = n
-				}
-				fn(k.SM(smID), smID, lo, hi)
-			}
-		}(w)
-	}
-	wg.Wait()
+	r := getSMRun(k, n)
+	r.chunk, r.fnIdx = chunk, fn
+	sched.RunChunk(numSMs, 1, workers, r, smChunkTask)
+	putSMRun(r)
 }

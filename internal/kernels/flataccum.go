@@ -1,0 +1,104 @@
+package kernels
+
+import (
+	"fmt"
+
+	"graphtensor/internal/graph"
+)
+
+// flatAccum is the flat-indexed replacement for the Graph-approach's per-SM
+// partial maps (the named ROADMAP open item). The modeled synchronization
+// cost of edge-parallel SpMM — per-SM partial dst rows merged in a second
+// pass — is preserved exactly: the same (SM, dst) pairs accumulate and
+// merge in the same order. Only the host-side bookkeeping changes, from
+// map[int32][]float32 per SM (≈1.8k allocations per kernel launch) to three
+// flat arrays owned by the Ctx and reused across launches:
+//
+//   - idx/gen: numSMs×rows slot directory; an entry is live only when its
+//     generation stamp matches the current launch, so invalidating the
+//     whole directory between launches is a counter bump, not an O(SMs×
+//     dsts) fill. Each SM owns a disjoint stripe, so claiming is race-free
+//     under the SM-confined dispatch of runSMs.
+//   - count: claimed slots per SM.
+//   - data:  numSMs×perSM compact row slabs; a row is cleared lazily when
+//     claimed, so the slab itself is never bulk-zeroed.
+//
+// perSM bounds the distinct dsts one SM can touch (its edge share), keeping
+// the slab far smaller than a dense numSMs×rows×dim block.
+type flatAccum struct {
+	numSMs, rows, dim, perSM int
+	idx                      []int32
+	gen                      []uint32
+	cur                      uint32
+	count                    []int32
+	data                     []float32
+}
+
+// reset prepares the accumulator for a launch shape, growing the backing
+// arrays when needed. Advancing the generation invalidates every directory
+// entry in O(1); stale entries from earlier shapes can never validate
+// because their stamps are strictly older.
+func (fa *flatAccum) reset(numSMs, rows, dim, perSM int) {
+	if perSM > rows {
+		perSM = rows
+	}
+	fa.numSMs, fa.rows, fa.dim, fa.perSM = numSMs, rows, dim, perSM
+	if need := numSMs * rows; cap(fa.idx) < need {
+		fa.idx = make([]int32, need)
+		fa.gen = make([]uint32, need) // zeroed: older than any cur >= 1
+	} else {
+		fa.idx = fa.idx[:need]
+		fa.gen = fa.gen[:need]
+	}
+	fa.cur++
+	if fa.cur == 0 { // wraparound: stamps from 2^32 launches ago resurface
+		clear(fa.gen[:cap(fa.gen)]) // the capacity tail holds stamps too
+		fa.cur = 1
+	}
+	if cap(fa.count) < numSMs {
+		fa.count = make([]int32, numSMs)
+	} else {
+		fa.count = fa.count[:numSMs]
+		clear(fa.count)
+	}
+	if need := numSMs * perSM * dim; cap(fa.data) < need {
+		fa.data = make([]float32, need)
+	} else {
+		fa.data = fa.data[:need]
+	}
+}
+
+// row returns SM smID's partial row for dst d, claiming and zeroing a slot
+// on first touch. Each smID must be confined to one goroutine (the runSMs
+// dispatch guarantees this); distinct SMs touch disjoint array stripes.
+func (fa *flatAccum) row(smID int, d graph.VID) []float32 {
+	p := smID*fa.rows + int(d)
+	if fa.gen[p] != fa.cur {
+		slot := fa.count[smID]
+		if int(slot) >= fa.perSM {
+			panic(fmt.Sprintf("kernels: flatAccum SM %d exceeded its %d-slot bound", smID, fa.perSM))
+		}
+		fa.count[smID] = slot + 1
+		fa.gen[p] = fa.cur
+		fa.idx[p] = slot
+		r := fa.slot(smID, slot)
+		clear(r)
+		return r
+	}
+	return fa.slot(smID, fa.idx[p])
+}
+
+// get returns the accumulated partial row for (smID, d), or nil when the SM
+// never touched the dst — the merge pass's analogue of the map lookup.
+func (fa *flatAccum) get(smID, d int) []float32 {
+	p := smID*fa.rows + d
+	if fa.gen[p] != fa.cur {
+		return nil
+	}
+	return fa.slot(smID, fa.idx[p])
+}
+
+func (fa *flatAccum) slot(smID int, slot int32) []float32 {
+	base := (smID*fa.perSM + int(slot)) * fa.dim
+	return fa.data[base : base+fa.dim : base+fa.dim]
+}

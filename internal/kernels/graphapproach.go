@@ -5,7 +5,6 @@ import (
 
 	"graphtensor/internal/gpusim"
 	"graphtensor/internal/graph"
-	"graphtensor/internal/tensor"
 )
 
 // GraphApproach is the DGL/FeatGraph-style strategy (§III, Fig 5b/5c):
@@ -64,18 +63,17 @@ func (GraphApproach) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*De
 		}
 		// Edge-wise SpMM with per-SM partial accumulation plus a merge
 		// pass — the synchronization cost of updating shared dst rows
-		// from many SMs.
+		// from many SMs. Partials live in the Ctx's flat accumulator: one
+		// SM owns blocks b ≡ smID (mod numSMs), so it touches at most its
+		// block share of distinct dsts.
 		k := ctx.Dev.StartKernel("ga-spmm")
 		numSMs := k.NumSMs()
-		partials := make([]map[int32][]float32, numSMs)
 		scratch := ctx.msgScratch(numSMs, dim)
-		for i := range partials {
-			partials[i] = map[int32][]float32{}
-		}
+		nBlocks := (coo.NumEdges() + edgeBlock - 1) / edgeBlock
+		fa := ctx.partials(numSMs, coo.NumDst, dim, (nBlocks+numSMs-1)/numSMs*edgeBlock)
 		// Iterate edges in CSR (dst-major) order so each hop's edge id e
 		// aligns with wMat rows only when weighting came from CSR order;
 		// with COO weighting we index wMat by the COO edge id instead.
-		nBlocks := (coo.NumEdges() + edgeBlock - 1) / edgeBlock
 		runSMs(k, nBlocks, func(sm *gpusim.SMContext, b int) {
 			smID := b % numSMs
 			lo, hi := b*edgeBlock, (b+1)*edgeBlock
@@ -90,12 +88,7 @@ func (GraphApproach) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*De
 					sm.Read(wMat.RowAddr(e), wMat.RowBytes())
 					w = wMat.M.Row(e)
 				}
-				p := partials[smID]
-				row := p[d]
-				if row == nil {
-					row = tensor.GetSlice(dim)
-					p[d] = row
-				}
+				row := fa.row(smID, d)
 				msg := scratch[smID]
 				sm.AddFLOPs(m.message(x.M.Row(int(s)), w, msg))
 				scale := aggrScale(m, invDeg, d)
@@ -112,7 +105,7 @@ func (GraphApproach) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*De
 			for d := lo; d < hi; d++ {
 				orow := out.M.Row(d)
 				for smID := 0; smID < numSMs; smID++ {
-					if prow, ok := partials[smID][int32(d)]; ok {
+					if prow := fa.get(smID, d); prow != nil {
 						sm.Read(out.RowAddr(d), out.RowBytes())
 						for j := range orow {
 							orow[j] += prow[j]
@@ -124,11 +117,6 @@ func (GraphApproach) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*De
 			}
 		})
 		k.Finish()
-		for _, p := range partials {
-			for _, row := range p {
-				tensor.PutSlice(row)
-			}
-		}
 		_ = csr // CSR was required (and paid for); the merge ran dst-major
 		return nil
 	})
@@ -246,11 +234,10 @@ func (GraphApproach) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Mode
 		err = ctx.track(PhaseEdgeWeight, func() error {
 			k := ctx.Dev.StartKernel("ga-sddmm-bwp")
 			numSMs := k.NumSMs()
-			partials := make([]map[int32][]float32, numSMs)
 			scratch := ctx.msgScratch(numSMs, dim)
-			for i := range partials {
-				partials[i] = map[int32][]float32{}
-			}
+			// Edges are scheduled per-edge round-robin (e ≡ smID mod
+			// numSMs), so one SM touches at most its edge share of dsts.
+			fa := ctx.partials(numSMs, coo.NumDst, dim, (coo.NumEdges()+numSMs-1)/numSMs)
 			runSMs(k, coo.NumEdges(), func(sm *gpusim.SMContext, e int) {
 				smID := e % numSMs
 				s, d := coo.Src[e], coo.Dst[e]
@@ -264,12 +251,7 @@ func (GraphApproach) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Mode
 					dMsg[j] = dORow[j] * scale
 				}
 				sm.AddFLOPs(int64(dim))
-				p := partials[smID]
-				row := p[d]
-				if row == nil {
-					row = tensor.GetSlice(dim)
-					p[d] = row
-				}
+				row := fa.row(smID, d)
 				sm.AddFLOPs(m.msgBackwardDst(x.M.Row(int(s)), x.M.Row(int(d)), dMsg, row))
 				sm.Write(dx.RowAddr(int(d)), dx.RowBytes())
 			})
@@ -277,7 +259,7 @@ func (GraphApproach) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Mode
 				for d := lo; d < hi; d++ {
 					dxRow := dx.M.Row(d)
 					for smID := 0; smID < numSMs; smID++ {
-						if prow, ok := partials[smID][int32(d)]; ok {
+						if prow := fa.get(smID, d); prow != nil {
 							sm.Read(dx.RowAddr(d), dx.RowBytes())
 							for j := range dxRow {
 								dxRow[j] += prow[j]
@@ -289,11 +271,6 @@ func (GraphApproach) Backward(ctx *Ctx, g *Graphs, x, dOut *DeviceMatrix, m Mode
 				}
 			})
 			k.Finish()
-			for _, p := range partials {
-				for _, row := range p {
-					tensor.PutSlice(row)
-				}
-			}
 			return nil
 		})
 		if err != nil {

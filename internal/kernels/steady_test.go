@@ -1,0 +1,98 @@
+package kernels
+
+import (
+	"runtime"
+	"testing"
+
+	"graphtensor/internal/gpusim"
+	"graphtensor/internal/tensor"
+)
+
+// TestGraphApproachForwardSteadyAllocs guards the flat-accumulator rework:
+// with a warm Ctx (scratch, flat partials and per-graph memos established)
+// the Graph-approach forward must stay within a small constant allocation
+// budget per launch — the per-SM partial maps it replaced cost ~1.8k
+// allocations per launch on this shape. What remains is the out/weight
+// device matrices, the kernel launch bookkeeping and the tracking closures.
+func TestGraphApproachForwardSteadyAllocs(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	g, x := workspaceGraph(t)
+	dev := testDevice()
+	ctx := NewCtx(dev)
+	xd, err := WrapDeviceMatrix(dev, x.Clone(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := NGCFModes()
+	run := func() {
+		out, err := GraphApproach{}.Forward(ctx, g, xd, modes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.Free()
+	}
+	// Warm the Ctx workspace, the graph memos (COO expansion, invDeg) and
+	// the tensor pool.
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	allocs := testing.AllocsPerRun(20, run)
+	if allocs > 48 {
+		t.Errorf("GraphApproach.Forward steady state allocates %.1f times per launch, want <= 48", allocs)
+	}
+}
+
+// TestGraphApproachDeterminismAcrossWorkerCounts is the kernel-level
+// analogue of the tensor package's worker-count test: the pooled runSMs
+// dispatch and the flat accumulator must produce bitwise identical outputs
+// and identical device counters at GOMAXPROCS 1 and 8.
+func TestGraphApproachDeterminismAcrossWorkerCounts(t *testing.T) {
+	g, x := workspaceGraph(t)
+	modes := NGCFModes()
+
+	type result struct {
+		fwd, bwd *tensor.Matrix
+		counters gpusim.Counters
+	}
+	runAt := func(workers int) result {
+		prev := runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+		dev := testDevice()
+		ctx := NewCtx(dev)
+		gg := &Graphs{CSR: g.CSR, CSC: g.CSC}
+		xd, err := WrapDeviceMatrix(dev, x.Clone(), "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := GraphApproach{}.Forward(ctx, gg, xd, modes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dOut, err := WrapDeviceMatrix(dev, out.M.Clone(), "dout")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dx, err := GraphApproach{}.Backward(ctx, gg, xd, dOut, modes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{fwd: out.M.Clone(), bwd: dx.M.Clone(), counters: dev.Snapshot()}
+	}
+
+	serial := runAt(1)
+	parallel := runAt(8)
+	for i, v := range serial.fwd.Data {
+		if parallel.fwd.Data[i] != v {
+			t.Fatalf("forward element %d differs across worker counts: %v vs %v", i, parallel.fwd.Data[i], v)
+		}
+	}
+	for i, v := range serial.bwd.Data {
+		if parallel.bwd.Data[i] != v {
+			t.Fatalf("backward element %d differs across worker counts: %v vs %v", i, parallel.bwd.Data[i], v)
+		}
+	}
+	if serial.counters != parallel.counters {
+		t.Errorf("device counters differ across worker counts:\n  serial   %+v\n  parallel %+v", serial.counters, parallel.counters)
+	}
+}

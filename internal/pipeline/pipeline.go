@@ -31,6 +31,7 @@ import (
 	"graphtensor/internal/metrics"
 	"graphtensor/internal/prep"
 	"graphtensor/internal/sampling"
+	"graphtensor/internal/tensor"
 )
 
 // Config parameterizes the service-wide tensor scheduler.
@@ -87,6 +88,14 @@ func NewScheduler(full *graph.CSR, features *graph.EmbeddingTable, labels []int3
 // Prepare runs the pipelined preprocessing for one batch. The optional
 // timeline receives progress events (Fig 20); pass nil to skip recording.
 func (s *Scheduler) Prepare(batchDsts []graph.VID, tl *metrics.Timeline) (*prep.Batch, error) {
+	return s.PrepareArena(batchDsts, tl, nil)
+}
+
+// PrepareArena is Prepare with the batch's host embedding table drawn from
+// a batch-scoped arena (nil falls back to plain allocation). The prefetch
+// ring passes one arena per in-flight batch so steady-state preprocessing
+// recycles its buffers instead of reallocating them.
+func (s *Scheduler) PrepareArena(batchDsts []graph.VID, tl *metrics.Timeline, arena *tensor.Arena) (*prep.Batch, error) {
 	bd := metrics.NewBreakdown()
 	L := s.cfg.Sampler.Layers
 	sampler := sampling.New(s.full, s.cfg.Sampler)
@@ -175,7 +184,10 @@ func (s *Scheduler) Prepare(batchDsts []graph.VID, tl *metrics.Timeline) (*prep.
 					sem <- struct{}{}
 					defer func() { <-sem }()
 					st := time.Now()
-					buf := graph.NewEmbeddingTable(cHi-cLo, s.features.Dim)
+					// Staging buffers come from the global tensor pool
+					// (arena handles are single-goroutine; the pool is not)
+					// and are returned as soon as their chunk streams.
+					buf := &graph.EmbeddingTable{Dim: s.features.Dim, Data: tensor.Get(cHi-cLo, s.features.Dim)}
 					for i := cLo; i < cHi; i++ {
 						copy(buf.Data.Row(i-cLo), s.features.Row(origs[i]))
 					}
@@ -196,11 +208,24 @@ func (s *Scheduler) Prepare(batchDsts []graph.VID, tl *metrics.Timeline) (*prep.
 	res := run.Result()
 	nTotal := res.NumVertices()
 
+	// releaseStaged returns unstreamed staging chunks to the tensor pool on
+	// the failure paths. Call only after wg.Wait (no K producers left).
+	releaseStaged := func() {
+		chunksMu.Lock()
+		pending := chunks
+		chunks = nil
+		chunksMu.Unlock()
+		for _, ch := range pending {
+			tensor.Put(ch.data.Data)
+		}
+	}
+
 	st := time.Now()
-	embed := graph.NewEmbeddingTable(nTotal, s.features.Dim)
+	embed := graph.NewEmbeddingTableArena(arena, nTotal, s.features.Dim)
 	ebuf, err := s.dev.Alloc(embed.Bytes(), "batch-embeddings")
 	if err != nil {
 		wg.Wait()
+		releaseStaged()
 		return nil, err
 	}
 	bd.Add("transfer", time.Since(st))
@@ -231,6 +256,7 @@ func (s *Scheduler) Prepare(batchDsts []graph.VID, tl *metrics.Timeline) (*prep.
 		for _, ch := range pending {
 			st := time.Now()
 			d := pcie.Transfer(embed.Data.Data[ch.lo*s.features.Dim:ch.hi*s.features.Dim], ch.data.Data.Data, s.cfg.Pinned)
+			tensor.Put(ch.data.Data)
 			link.Pay(d)
 			bd.Add("transfer", time.Since(st))
 			transferred += ch.hi - ch.lo
@@ -240,6 +266,7 @@ func (s *Scheduler) Prepare(batchDsts []graph.VID, tl *metrics.Timeline) (*prep.
 
 	wg.Wait()
 	if firstErr != nil {
+		releaseStaged()
 		ebuf.Free()
 		return nil, firstErr
 	}
@@ -285,50 +312,17 @@ type embedChunk struct {
 func Serial(full *graph.CSR, features *graph.EmbeddingTable, labels []int32,
 	dev *gpusim.Device, batchDsts []graph.VID, samplerCfg sampling.Config,
 	format prep.Format, pinned bool) (*prep.Batch, error) {
+	return SerialArena(full, features, labels, dev, batchDsts, samplerCfg, format, pinned, nil)
+}
+
+// SerialArena is Serial with the batch's host buffers drawn from a
+// batch-scoped arena (nil falls back to plain allocation).
+func SerialArena(full *graph.CSR, features *graph.EmbeddingTable, labels []int32,
+	dev *gpusim.Device, batchDsts []graph.VID, samplerCfg sampling.Config,
+	format prep.Format, pinned bool, arena *tensor.Arena) (*prep.Batch, error) {
 	sampler := sampling.New(full, samplerCfg)
-	return prep.Serial(sampler, features, labels, dev, batchDsts, prep.Config{Format: format, Pinned: pinned})
-}
-
-// Prefetcher overlaps the preprocessing of batch n+1 with the GPU compute
-// of batch n — the standard deep-learning-framework overlap that DGL,
-// SALIENT and GraphTensor all apply (§V-B last paragraph). Produce batches
-// by calling Next with the dst vertices of the upcoming batch.
-type Prefetcher struct {
-	prepare func([]graph.VID) (*prep.Batch, error)
-	next    chan prefetchResult
-	started bool
-}
-
-type prefetchResult struct {
-	batch *prep.Batch
-	err   error
-}
-
-// NewPrefetcher wraps a preparation function.
-func NewPrefetcher(prepare func([]graph.VID) (*prep.Batch, error)) *Prefetcher {
-	return &Prefetcher{prepare: prepare, next: make(chan prefetchResult, 1)}
-}
-
-// Next returns the batch for dsts, kicking off the preparation of
-// nextDsts in the background (nil to stop prefetching).
-func (p *Prefetcher) Next(dsts, nextDsts []graph.VID) (*prep.Batch, error) {
-	var res prefetchResult
-	if p.started {
-		res = <-p.next
-	} else {
-		b, err := p.prepare(dsts)
-		res = prefetchResult{batch: b, err: err}
-	}
-	if nextDsts != nil {
-		p.started = true
-		go func() {
-			b, err := p.prepare(nextDsts)
-			p.next <- prefetchResult{batch: b, err: err}
-		}()
-	} else {
-		p.started = false
-	}
-	return res.batch, res.err
+	return prep.Serial(sampler, features, labels, dev, batchDsts,
+		prep.Config{Format: format, Pinned: pinned, Arena: arena})
 }
 
 // String describes the scheduler configuration.

@@ -116,34 +116,6 @@ func TestPipelineTimelineRecordsAllTasks(t *testing.T) {
 	}
 }
 
-func TestPrefetcherOverlap(t *testing.T) {
-	ds := testDataset(t)
-	dev := testDevice()
-	samplerCfg := sampling.DefaultConfig()
-	prepare := func(d []graph.VID) (*prep.Batch, error) {
-		return Serial(ds.Graph, ds.Features, ds.Labels, dev, d, samplerCfg, prep.FormatCSR, false)
-	}
-	pf := NewPrefetcher(prepare)
-	d1 := ds.BatchDsts(20, 1)
-	d2 := ds.BatchDsts(20, 2)
-	b1, err := pf.Next(d1, d2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := len(b1.Sample.Batch); got != 20 {
-		t.Fatalf("batch 1 has %d dsts", got)
-	}
-	b1.Release()
-	b2, err := pf.Next(d2, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := len(b2.Sample.Batch); got != 20 {
-		t.Fatalf("batch 2 has %d dsts", got)
-	}
-	b2.Release()
-}
-
 func TestSchedulerOOMPropagates(t *testing.T) {
 	ds := testDataset(t)
 	cfg := gpusim.DefaultConfig()

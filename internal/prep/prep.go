@@ -14,6 +14,7 @@ import (
 	"graphtensor/internal/graph"
 	"graphtensor/internal/metrics"
 	"graphtensor/internal/sampling"
+	"graphtensor/internal/tensor"
 	"graphtensor/internal/vidmap"
 )
 
@@ -66,14 +67,24 @@ type Batch struct {
 
 	DeviceBuffers []*gpusim.Buffer
 	Breakdown     *metrics.Breakdown
+
+	// OnRelease, when set, runs once after the device buffers are freed.
+	// The prefetch ring uses it to recycle the batch's arena-backed host
+	// buffers; after it fires, the batch's Embed storage is invalid.
+	OnRelease func()
 }
 
-// Release frees all device buffers the batch holds.
+// Release frees all device buffers the batch holds, then fires OnRelease.
 func (b *Batch) Release() {
 	for _, buf := range b.DeviceBuffers {
 		buf.Free()
 	}
 	b.DeviceBuffers = nil
+	if b.OnRelease != nil {
+		hook := b.OnRelease
+		b.OnRelease = nil
+		hook()
+	}
 }
 
 // ReindexCOO renumbers a sampled hop's edges into new-VID space using the
@@ -129,7 +140,16 @@ func BuildLayer(coo *graph.BCOO, format Format) LayerData {
 // Lookup gathers the embeddings of every sampled vertex into a new table
 // indexed by new VID (the K task).
 func Lookup(features *graph.EmbeddingTable, table *vidmap.Table) *graph.EmbeddingTable {
-	return features.Gather(table.OrigSlice(0, table.Len()))
+	return LookupArena(nil, features, table)
+}
+
+// LookupArena is Lookup with the output table drawn from a batch-scoped
+// arena (nil falls back to a plain allocation).
+func LookupArena(a *tensor.Arena, features *graph.EmbeddingTable, table *vidmap.Table) *graph.EmbeddingTable {
+	vids := table.OrigSlice(0, table.Len())
+	out := graph.NewEmbeddingTableArena(a, len(vids), features.Dim)
+	features.GatherInto(out, vids, 0, len(vids))
+	return out
 }
 
 // GraphBytes returns the device bytes layer structures occupy.
@@ -153,6 +173,10 @@ func GraphBytes(layers []LayerData) int64 {
 type Config struct {
 	Format Format
 	Pinned bool // page-locked staging buffers for the T task
+	// Arena, when non-nil, supplies the batch's host-side embedding
+	// storage; the prefetch ring recycles it across batches through
+	// Batch.OnRelease.
+	Arena *tensor.Arena
 }
 
 // Serial runs the classic serialized preprocessing chain
@@ -180,7 +204,7 @@ func Serial(sampler *sampling.Sampler, features *graph.EmbeddingTable,
 	bd.Add("reindex", time.Since(t0))
 
 	t0 = time.Now()
-	embed := Lookup(features, res.Table)
+	embed := LookupArena(cfg.Arena, features, res.Table)
 	bd.Add("lookup", time.Since(t0))
 
 	t0 = time.Now()
@@ -191,7 +215,7 @@ func Serial(sampler *sampling.Sampler, features *graph.EmbeddingTable,
 			batch.Labels[i] = labels[orig]
 		}
 	}
-	if err := Transfer(batch, dev, cfg.Pinned); err != nil {
+	if err := TransferArena(batch, dev, cfg.Pinned, cfg.Arena); err != nil {
 		return nil, err
 	}
 	bd.Add("transfer", time.Since(t0))
@@ -203,6 +227,12 @@ func Serial(sampler *sampling.Sampler, features *graph.EmbeddingTable,
 // modeled link time is paid to the wall clock through a LinkThrottle so
 // pipeline overlap experiments observe realistic transfer occupancy.
 func Transfer(b *Batch, dev *gpusim.Device, pinned bool) error {
+	return TransferArena(b, dev, pinned, nil)
+}
+
+// TransferArena is Transfer with the device-side host mirror drawn from a
+// batch-scoped arena (nil falls back to a plain allocation).
+func TransferArena(b *Batch, dev *gpusim.Device, pinned bool, a *tensor.Arena) error {
 	pcie := dev.PCIe()
 	gBytes := GraphBytes(b.Layers)
 	gbuf, err := dev.Alloc(gBytes, "batch-graphs")
@@ -217,7 +247,7 @@ func Transfer(b *Batch, dev *gpusim.Device, pinned bool) error {
 		return err
 	}
 	b.DeviceBuffers = append(b.DeviceBuffers, ebuf)
-	deviceCopy := graph.NewEmbeddingTable(b.Embed.NumVertices(), b.Embed.Dim)
+	deviceCopy := graph.NewEmbeddingTableArena(a, b.Embed.NumVertices(), b.Embed.Dim)
 	d += pcie.Transfer(deviceCopy.Data.Data, b.Embed.Data.Data, pinned)
 	b.Embed = deviceCopy
 	var link LinkThrottle

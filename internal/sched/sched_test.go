@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversEveryIndexOnce: every index in [0, n) is processed exactly
+// once, for a spread of sizes, chunk widths and worker counts.
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	for _, n := range []int{1, 7, 8, 64, 257, 4096} {
+		for _, workers := range []int{1, 2, 8, 64} {
+			hits := make([]int32, n)
+			Run(n, workers, &hits, func(ctx any, lo, hi int) {
+				h := *ctx.(*[]int32)
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&h[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d processed %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestRunChunkBoundaries: chunk boundaries are fixed by (n, chunk) alone —
+// each invocation of fn sees exactly one [c·chunk, min((c+1)·chunk, n))
+// range, regardless of who claims it.
+func TestRunChunkBoundaries(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	n, chunk := 103, 10
+	var bad atomic.Int32
+	RunChunk(n, chunk, 8, nil, func(_ any, lo, hi int) {
+		if lo%chunk != 0 {
+			bad.Add(1)
+		}
+		want := lo + chunk
+		if want > n {
+			want = n
+		}
+		if hi != want {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("observed chunk range not aligned to the fixed boundaries")
+	}
+}
+
+// TestNestedRunDoesNotDeadlock: dispatch from inside a pool worker must
+// degrade to local execution rather than deadlock.
+func TestNestedRunDoesNotDeadlock(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	var total atomic.Int64
+	Run(64, 4, nil, func(_ any, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			Run(32, 4, nil, func(_ any, l, h int) {
+				total.Add(int64(h - l))
+			})
+		}
+	})
+	if got := total.Load(); got != 64*32 {
+		t.Fatalf("nested dispatch processed %d units, want %d", got, 64*32)
+	}
+}
+
+// TestRunSerialFallback: workers<=1 (or tiny n) must run inline on the
+// calling goroutine.
+func TestRunSerialFallback(t *testing.T) {
+	calls := 0
+	Run(10, 1, nil, func(_ any, lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("serial fallback got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial fallback made %d calls", calls)
+	}
+}
+
+// TestRunZeroAlloc guards the dispatch discipline: with a pooled context
+// pointer and a top-level worker function, a steady-state dispatch performs
+// no heap allocation on the calling goroutine.
+func TestRunZeroAlloc(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	sink := make([]int32, 1024)
+	ctx := &sink
+	fn := func(c any, lo, hi int) {
+		s := *c.(*[]int32)
+		for i := lo; i < hi; i++ {
+			s[i]++
+		}
+	}
+	// Warm the pool (job structs, workers).
+	for i := 0; i < 4; i++ {
+		Run(len(sink), 8, ctx, fn)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		Run(len(sink), 8, ctx, fn)
+	})
+	if allocs != 0 {
+		t.Errorf("Run allocates %.1f times per dispatch, want 0", allocs)
+	}
+}

@@ -176,3 +176,28 @@ func TestMatMulIntoZeroAllocs(t *testing.T) {
 		t.Errorf("MatMulInto allocates %.1f times per op, want 0", allocs)
 	}
 }
+
+// TestParallelMatMulIntoZeroAllocs extends the guard to the pooled parallel
+// path: dispatching row chunks onto the persistent worker pool must not
+// allocate either — no goroutine spawns, no WaitGroups, no closures; just a
+// pooled args struct and a pooled job.
+func TestParallelMatMulIntoZeroAllocs(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	a := mixed(256, 96, 8)
+	b := mixed(96, 64, 9)
+	dst := Get(256, 64)
+	defer Put(dst)
+	want := MatMul(a, b)
+	// Warm the worker pool and the job/args pools.
+	for i := 0; i < 4; i++ {
+		MatMulInto(dst, a, b)
+	}
+	allocs := testing.AllocsPerRun(30, func() {
+		MatMulInto(dst, a, b)
+	})
+	if allocs != 0 {
+		t.Errorf("parallel MatMulInto allocates %.1f times per op, want 0", allocs)
+	}
+	requireBitwise(t, "parallel MatMulInto", dst, want)
+}

@@ -18,6 +18,8 @@ import (
 	"math"
 	"runtime"
 	"sync"
+
+	"graphtensor/internal/sched"
 )
 
 // Matrix is a dense row-major float32 matrix.
@@ -126,40 +128,81 @@ func (m *Matrix) String() string {
 
 // rowWorkers returns how many workers a rows-sized parallel region uses.
 // 1 means the caller should run the serial path (which lets kernels avoid
-// allocating the parallel closure entirely).
+// building a dispatch context entirely).
 func rowWorkers(rows int) int {
 	if rows < 64 {
 		return 1
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
-	}
-	return workers
+	return sched.Workers(rows)
 }
 
-// parallelRows runs fn over row ranges [lo,hi) split across workers. Results
-// are deterministic because each row is written by exactly one worker.
-func parallelRows(rows int, fn func(lo, hi int)) {
-	workers := rowWorkers(rows)
-	if workers <= 1 {
-		fn(0, rows)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for lo := 0; lo < rows; lo += chunk {
-		hi := lo + chunk
-		if hi > rows {
-			hi = rows
+// pArgs carries the operands of one parallel kernel dispatch onto the
+// worker pool. Instances are pooled so a steady-state parallel kernel
+// performs no heap allocation; the top-level task functions below unpack
+// them, keeping the dispatch closure-free.
+type pArgs struct {
+	dst, a, b *Matrix
+	s         float32
+	vec       []float32
+}
+
+var pArgsPool = sync.Pool{New: func() any { return new(pArgs) }}
+
+// runRows dispatches a row-range kernel onto the shared worker pool and
+// returns the pooled args. Each row is written by exactly one participant,
+// so results are bitwise independent of the worker count.
+func runRows(rows, workers int, p *pArgs, fn func(ctx any, lo, hi int)) {
+	sched.Run(rows, workers, p, fn)
+	p.dst, p.a, p.b, p.s, p.vec = nil, nil, nil, 0, nil
+	pArgsPool.Put(p)
+}
+
+func getPArgs(dst, a, b *Matrix) *pArgs {
+	p := pArgsPool.Get().(*pArgs)
+	p.dst, p.a, p.b = dst, a, b
+	return p
+}
+
+func matMulTask(ctx any, lo, hi int) {
+	p := ctx.(*pArgs)
+	matMulRange(p.dst, p.a, p.b, lo, hi)
+}
+
+func matMulTTask(ctx any, lo, hi int) {
+	p := ctx.(*pArgs)
+	matMulTRange(p.dst, p.a, p.b, lo, hi)
+}
+
+func tMatMulTask(ctx any, lo, hi int) {
+	p := ctx.(*pArgs)
+	tMatMulRange(p.dst, p.a, p.b, lo, hi)
+}
+
+func transposeTask(ctx any, lo, hi int) {
+	p := ctx.(*pArgs)
+	transposeRange(p.dst, p.a, lo, hi)
+}
+
+func addBiasTask(ctx any, lo, hi int) {
+	p := ctx.(*pArgs)
+	bias := p.vec
+	for i := lo; i < hi; i++ {
+		row := p.dst.Row(i)
+		for j := range row {
+			row[j] += bias[j]
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
 	}
-	wg.Wait()
+}
+
+func sumRowsTask(ctx any, lo, hi int) {
+	p := ctx.(*pArgs)
+	m, dst := p.a, p.vec
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := lo; j < hi; j++ {
+			dst[j] += row[j]
+		}
+	}
 }
 
 // gemmKBlock is the inner-dimension tile of the blocked GEMM kernels: a
@@ -185,13 +228,11 @@ func MatMulInto(dst, a, b *Matrix) *Matrix {
 	if dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
-	if rowWorkers(a.Rows) <= 1 {
-		matMulRange(dst, a, b, 0, a.Rows)
+	if workers := rowWorkers(a.Rows); workers > 1 {
+		runRows(a.Rows, workers, getPArgs(dst, a, b), matMulTask)
 		return dst
 	}
-	parallelRows(a.Rows, func(lo, hi int) {
-		matMulRange(dst, a, b, lo, hi)
-	})
+	matMulRange(dst, a, b, 0, a.Rows)
 	return dst
 }
 
@@ -261,13 +302,11 @@ func MatMulTInto(dst, a, b *Matrix) *Matrix {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmulT dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	if rowWorkers(a.Rows) <= 1 {
-		matMulTRange(dst, a, b, 0, a.Rows)
+	if workers := rowWorkers(a.Rows); workers > 1 {
+		runRows(a.Rows, workers, getPArgs(dst, a, b), matMulTTask)
 		return dst
 	}
-	parallelRows(a.Rows, func(lo, hi int) {
-		matMulTRange(dst, a, b, lo, hi)
-	})
+	matMulTRange(dst, a, b, 0, a.Rows)
 	return dst
 }
 
@@ -318,13 +357,11 @@ func TMatMulInto(dst, a, b *Matrix) *Matrix {
 	if dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: tmatmul dst %dx%d != %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
-	if rowWorkers(a.Cols) <= 1 {
-		tMatMulRange(dst, a, b, 0, a.Cols)
+	if workers := rowWorkers(a.Cols); workers > 1 {
+		runRows(a.Cols, workers, getPArgs(dst, a, b), tMatMulTask)
 		return dst
 	}
-	parallelRows(a.Cols, func(lo, hi int) {
-		tMatMulRange(dst, a, b, lo, hi)
-	})
+	tMatMulRange(dst, a, b, 0, a.Cols)
 	return dst
 }
 
@@ -374,13 +411,11 @@ func TransposeInto(dst, m *Matrix) *Matrix {
 	if dst.Rows != m.Cols || dst.Cols != m.Rows {
 		panic(fmt.Sprintf("tensor: transpose dst %dx%d != %dx%d", dst.Rows, dst.Cols, m.Cols, m.Rows))
 	}
-	if rowWorkers(m.Rows) <= 1 {
-		transposeRange(dst, m, 0, m.Rows)
+	if workers := rowWorkers(m.Rows); workers > 1 {
+		runRows(m.Rows, workers, getPArgs(dst, m, nil), transposeTask)
 		return dst
 	}
-	parallelRows(m.Rows, func(lo, hi int) {
-		transposeRange(dst, m, lo, hi)
-	})
+	transposeRange(dst, m, 0, m.Rows)
 	return dst
 }
 
@@ -477,14 +512,18 @@ func AddBias(m *Matrix, bias []float32) *Matrix {
 	if len(bias) != m.Cols {
 		panic(fmt.Sprintf("tensor: bias length %d != cols %d", len(bias), m.Cols))
 	}
-	parallelRows(m.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := m.Row(i)
-			for j := range row {
-				row[j] += bias[j]
-			}
+	if workers := rowWorkers(m.Rows); workers > 1 {
+		p := getPArgs(m, nil, nil)
+		p.vec = bias
+		runRows(m.Rows, workers, p, addBiasTask)
+		return m
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += bias[j]
 		}
-	})
+	}
 	return m
 }
 
@@ -544,17 +583,12 @@ func SumRowsInto(dst []float32, m *Matrix) []float32 {
 		panic(fmt.Sprintf("tensor: sumrows dst length %d != cols %d", len(dst), m.Cols))
 	}
 	clear(dst)
-	// parallelRows serializes below 64 "rows" (columns here), so gate on
-	// the same floor to avoid paying the closure for nothing.
+	// The parallel split is by columns, so gate on a column floor (matching
+	// the 64-row kernel threshold) plus enough rows to amortize dispatch.
 	if m.Rows >= 256 && m.Cols >= 64 && runtime.GOMAXPROCS(0) > 1 {
-		parallelRows(m.Cols, func(lo, hi int) {
-			for i := 0; i < m.Rows; i++ {
-				row := m.Row(i)
-				for j := lo; j < hi; j++ {
-					dst[j] += row[j]
-				}
-			}
-		})
+		p := getPArgs(nil, m, nil)
+		p.vec = dst
+		runRows(m.Cols, sched.Workers(m.Cols), p, sumRowsTask)
 		return dst
 	}
 	for i := 0; i < m.Rows; i++ {

@@ -69,12 +69,27 @@ func NewDriver(tr *frameworks.Trainer, cfg Config, valDsts []graph.VID) *Driver 
 }
 
 // Run executes the training schedule and returns the history.
+//
+// The whole schedule is fed through one prefetch ring, so for
+// overlap-capable frameworks the preprocessing of epoch e+1 overlaps the
+// compute tail of epoch e and continues through validation pauses. On early
+// stopping the deferred Stop abandons and drains whatever the ring prepared
+// ahead. Peak device residency is correspondingly higher than the old
+// epoch-bounded prefetcher: up to PrefetchDepth+2 training batches plus the
+// validation batch can hold device buffers at once (see
+// frameworks.Options.PrefetchDepth).
 func (d *Driver) Run() (*History, error) {
 	h := &History{}
 	sinceImprove := 0
+	// Dst lists are drawn lazily on the ring's producer as each batch's
+	// preparation starts — the schedule-length sequence is never
+	// materialized, and early stopping wastes no generation.
+	total := d.cfg.Epochs * d.cfg.BatchesPerEpoch
+	ring := d.tr.NewRingN(total, func(int) []graph.VID { return d.tr.NextDsts() })
+	defer ring.Stop()
 	for e := 0; e < d.cfg.Epochs; e++ {
 		t0 := time.Now()
-		wall, loss, err := d.tr.TrainEpoch(d.cfg.BatchesPerEpoch)
+		wall, loss, err := d.tr.TrainStream(ring, d.cfg.BatchesPerEpoch)
 		if err != nil {
 			return nil, err
 		}

@@ -64,6 +64,28 @@ func TestDriverEarlyStop(t *testing.T) {
 	}
 }
 
+// TestDriverEarlyStopDrainsRing: when early stopping abandons the rest of
+// the schedule, the deferred ring.Stop must release every device buffer of
+// the batches the ring had prepared ahead — zero live batch allocations is
+// the observable proof the drain ran.
+func TestDriverEarlyStopDrainsRing(t *testing.T) {
+	tr, ds := newTrainer(t, frameworks.PreproGT)
+	cfg := Config{Epochs: 40, BatchesPerEpoch: 2, LearningRate: 0, ValEvery: 1, EarlyStopPatience: 2}
+	d := NewDriver(tr, cfg, ds.BatchDsts(50, 11))
+	h, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.StoppedEarly {
+		t.Fatal("expected early stop with zero learning rate")
+	}
+	for _, label := range []string{"batch-embeddings", "batch-graphs"} {
+		if n := tr.Engine.Dev.BuffersInUse(label); n != 0 {
+			t.Errorf("%d %q buffers still allocated after early stop (prefetched batches not drained)", n, label)
+		}
+	}
+}
+
 func TestDriverWithoutValidation(t *testing.T) {
 	tr, _ := newTrainer(t, frameworks.PreproGT)
 	cfg := Config{Epochs: 3, BatchesPerEpoch: 2, LearningRate: 0.05}

@@ -1,0 +1,107 @@
+// Command benchdiff compares two BENCH_<n>.json snapshots produced by
+// `gtbench -micro` / scripts/bench.sh and prints the per-benchmark delta in
+// best ns/op, B/op and allocs/op. It exits non-zero when any benchmark
+// present in both snapshots regressed by more than the threshold (default
+// 15% ns/op), making it usable as a CI gate on the perf trajectory:
+//
+//	go run ./scripts/benchdiff BENCH_1.json BENCH_2.json
+//	go run ./scripts/benchdiff -threshold 10 BENCH_1.json BENCH_2.json
+//	go run ./scripts/benchdiff -smoke BENCH_1.json BENCH_2.json  # never fails
+//
+// -smoke prints the comparison but always exits 0; CI uses it so snapshots
+// captured on different machines don't fail unrelated pushes, while local
+// runs keep the hard gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOpBest float64 `json:"ns_per_op_best"`
+	NsPerOpMean float64 `json:"ns_per_op_mean"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func load(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != "graphtensor-bench/v1" {
+		return nil, fmt.Errorf("%s: unexpected schema %q", path, f.Schema)
+	}
+	return &f, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression in percent before failing")
+	smoke := flag.Bool("smoke", false, "print the diff but always exit 0 (CI smoke mode)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-smoke] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldF, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newF, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	oldBy := map[string]benchResult{}
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+	}
+
+	fmt.Printf("%-38s %14s %14s %9s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δns/op", "Δallocs/op", "ΔB/op")
+	regressed := 0
+	compared := 0
+	for _, nb := range newF.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-38s %14s %14.0f %9s %12d %12d  (new)\n",
+				nb.Name, "-", nb.NsPerOpBest, "-", nb.AllocsPerOp, nb.BytesPerOp)
+			continue
+		}
+		delete(oldBy, nb.Name)
+		compared++
+		pct := (nb.NsPerOpBest - ob.NsPerOpBest) / ob.NsPerOpBest * 100
+		mark := ""
+		if pct > *threshold {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-38s %14.0f %14.0f %8.1f%% %12d %12d%s\n",
+			nb.Name, ob.NsPerOpBest, nb.NsPerOpBest, pct,
+			nb.AllocsPerOp-ob.AllocsPerOp, nb.BytesPerOp-ob.BytesPerOp, mark)
+	}
+	for name := range oldBy {
+		fmt.Printf("%-38s  (dropped from new snapshot)\n", name)
+	}
+	fmt.Printf("%d benchmarks compared, %d regressed beyond %.0f%%\n", compared, regressed, *threshold)
+	if regressed > 0 && !*smoke {
+		os.Exit(1)
+	}
+}
