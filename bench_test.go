@@ -9,6 +9,7 @@
 package graphtensor
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -174,6 +175,36 @@ func BenchmarkTrainBatchPreproGT(b *testing.B) {
 		if _, err := tr.TrainBatch(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMultiGPUTrainBatch measures one data-parallel training step of
+// the DeviceGroup engine at 1/2/4 simulated devices: batch partitioning
+// into edge-balanced gradient shards, per-device forward+backward on the
+// worker pool, PCIe-modeled all-reduce, deterministic optimizer step. The
+// per-device arenas recycle all device allocations, so allocs/op tracks the
+// host-side steady state.
+func BenchmarkMultiGPUTrainBatch(b *testing.B) {
+	ds, err := datasets.Generate("products", datasets.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nd := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("devs=%d", nd), func(b *testing.B) {
+			opt := frameworks.DefaultOptions()
+			opt.NumDevices = nd
+			tr, err := frameworks.New(frameworks.BaseGT, ds, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.TrainBatch(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -39,6 +39,7 @@ func main() {
 		hidden  = flag.Int("hidden", 16, "hidden dimension")
 		layers  = flag.Int("layers", 2, "GNN depth")
 		lr      = flag.Float64("lr", 0.05, "SGD learning rate")
+		devices = flag.Int("devices", 0, "data-parallel device count (0 = classic single-device engine)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 	opt.Hidden = *hidden
 	opt.Layers = *layers
 	opt.LearningRate = float32(*lr)
+	opt.NumDevices = *devices
 	tr, err := frameworks.New(kind, ds, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gttrain: %v\n", err)
@@ -81,5 +83,12 @@ func main() {
 		}
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	if g := tr.Group(); g != nil {
+		st := g.LastStats()
+		fmt.Printf("data-parallel step (last batch): %d devices, imbalance %.2fx, peak dev FLOPs %d, modeled compute %v + comm %v = %v\n",
+			st.Devices, st.Imbalance, st.PeakDeviceFLOPs,
+			st.MaxDeviceCompute.Round(time.Microsecond), st.CommTime.Round(time.Microsecond), st.StepTime.Round(time.Microsecond))
+		return
+	}
 	fmt.Printf("kernel phase breakdown:\n%s", tr.Engine.Phases())
 }

@@ -9,13 +9,36 @@ import (
 // SoftmaxCrossEntropy computes the mean negative log-likelihood of labels
 // under softmax(logits) and the gradient with respect to the logits
 // ((softmax − onehot)/n). Rows beyond len(labels) — vertices sampled only
-// as neighbors — contribute neither loss nor gradient.
+// as neighbors — contribute neither loss nor gradient. The gradient matrix
+// is drawn from the tensor pool; callers that track lifetimes return it
+// with tensor.Put.
 func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int32) (float64, *tensor.Matrix) {
 	n := len(labels)
 	if n > logits.Rows {
 		n = logits.Rows
 	}
-	grad := tensor.New(logits.Rows, logits.Cols)
+	loss, grad := SoftmaxCrossEntropySum(logits, labels, n)
+	if n > 0 {
+		loss /= float64(n)
+	}
+	return loss, grad
+}
+
+// SoftmaxCrossEntropySum is the data-parallel form of SoftmaxCrossEntropy:
+// it returns the UNnormalized loss sum over the labeled rows and the
+// gradient scaled by 1/norm, where norm is the global batch size. A shard
+// holding a subset of the batch's dst rows computes its partial with
+// norm = the full batch size; partials folded in a fixed order then divided
+// by norm reproduce a full-batch step. The gradient is pool-drawn.
+func SoftmaxCrossEntropySum(logits *tensor.Matrix, labels []int32, norm int) (float64, *tensor.Matrix) {
+	n := len(labels)
+	if n > logits.Rows {
+		n = logits.Rows
+	}
+	if norm <= 0 {
+		norm = 1
+	}
+	grad := tensor.Get(logits.Rows, logits.Cols)
 	var loss float64
 	for i := 0; i < n; i++ {
 		row := logits.Row(i)
@@ -39,12 +62,9 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int32) (float64, *tenso
 		grow := grad.Row(i)
 		for j, v := range row {
 			p := math.Exp(float64(v-maxV)) / sum
-			grow[j] = float32(p) / float32(n)
+			grow[j] = float32(p) / float32(norm)
 		}
-		grow[y] -= 1 / float32(n)
-	}
-	if n > 0 {
-		loss /= float64(n)
+		grow[y] -= 1 / float32(norm)
 	}
 	return loss, grad
 }

@@ -380,6 +380,7 @@ func (m *Model) TrainStep(ctx *kernels.Ctx, in *Input, lr float32) (float64, err
 	if err := m.Backward(ctx, in, fr, dLogits); err != nil {
 		return 0, err
 	}
+	tensor.Put(dLogits)
 	m.Step(lr)
 	fr.Logits.Free()
 	return loss, nil

@@ -3,60 +3,79 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
-	"graphtensor/internal/graph"
-	"graphtensor/internal/kernels"
+	"graphtensor/internal/frameworks"
 	"graphtensor/internal/multigpu"
-	"graphtensor/internal/prep"
-	"graphtensor/internal/sampling"
-	"graphtensor/internal/tensor"
 )
 
 func init() {
-	register("multigpu", "ROC-style multi-GPU SpMM: load balance + per-device work (§VII)", runMultiGPU)
+	register("multigpu", "Data-parallel training scaling: balance + per-device work + comm (§VII)", runMultiGPU)
 }
 
-// runMultiGPU reproduces ROC's balanced multi-GPU SpMM: it partitions a
-// sampled subgraph's dst vertices across 1/2/4/8 devices balancing edges,
-// and reports the load imbalance and the peak per-device FLOPs (which
-// should fall roughly linearly with device count for a well-balanced
-// partition).
+// runMultiGPU measures the data-parallel training engine built on ROC's
+// balanced-edge partitioning (§VII [19]): each batch is carved into
+// shape-fixed gradient shards with BalanceByEdges, devices train their
+// shards (forward + backward), and weight gradients are all-reduced over
+// the PCIe model. For 1/2/4/8 devices it reports the shard imbalance, the
+// busiest device's work (which should fall ~linearly), the modeled
+// communication cost the all-reduce adds, and the resulting modeled step
+// speedup. The loss column is the proof of exactness: it is bitwise
+// identical at every device count.
 func runMultiGPU(cfg Config) (*Result, error) {
+	datasets := []string{"products", "reddit2"}
+	if cfg.Quick {
+		datasets = datasets[:1]
+	}
+	batches := cfg.Batches
+	if batches <= 0 {
+		batches = 3
+	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-12s %6s %12s %16s %12s\n", "dataset", "nGPU", "imbalance", "peak dev FLOPs", "speedup")
-	for _, name := range []string{"products", "reddit2", "wiki-talk"} {
+	fmt.Fprintf(&sb, "%-12s %5s %10s %16s %10s %10s %10s %8s %10s\n",
+		"dataset", "nGPU", "imbalance", "peak dev FLOPs", "compute", "comm", "step", "speedup", "loss")
+	for _, name := range datasets {
 		ds, err := loadDataset(cfg, name)
 		if err != nil {
 			return nil, err
 		}
-		res := sampling.New(ds.Graph, samplerFor(ds)).Sample(ds.BatchDsts(300, 1))
-		coo, err := prep.ReindexCOO(res.ForLayer(1), res.Table)
-		if err != nil {
-			return nil, err
-		}
-		csr, _ := graph.BCOOToBCSR(coo)
-		x := tensor.Random(csr.NumSrc, ds.FeatureDim, 1, tensor.NewRNG(1))
-		var basePeak int64
+		var baseStep time.Duration
 		for _, nGPU := range []int{1, 2, 4, 8} {
-			plan := multigpu.BalanceByEdges(csr, nGPU, cfg.device())
-			fwd, err := plan.Forward(x, kernels.GCNModes())
+			opt := frameworks.DefaultOptions()
+			opt.Device = cfg.device()
+			opt.NumDevices = nGPU
+			opt.GradShards = multigpu.DefaultShards
+			tr, err := frameworks.New(frameworks.BaseGT, ds, opt)
 			if err != nil {
 				return nil, err
 			}
-			var peak int64
-			for _, f := range fwd.PerDeviceFLOPs {
-				if f > peak {
-					peak = f
+			var loss float64
+			var st multigpu.GroupStats
+			for i := 0; i < batches; i++ {
+				bs, err := tr.TrainBatch()
+				if err != nil {
+					return nil, err
 				}
+				loss = bs.Loss
+				st = tr.Group().LastStats()
 			}
 			if nGPU == 1 {
-				basePeak = peak
+				baseStep = st.StepTime
 			}
-			sp := float64(basePeak) / float64(peak)
-			fmt.Fprintf(&sb, "%-12s %6d %11.2fx %16d %11.2fx\n", name, nGPU, plan.Imbalance, peak, sp)
+			fmt.Fprintf(&sb, "%-12s %5d %9.2fx %16d %10s %10s %10s %7.2fx %10.6f\n",
+				name, nGPU, st.Imbalance, st.PeakDeviceFLOPs,
+				st.MaxDeviceCompute.Round(time.Microsecond),
+				st.CommTime.Round(time.Microsecond),
+				st.StepTime.Round(time.Microsecond),
+				float64(baseStep)/float64(st.StepTime), loss)
 		}
 		sb.WriteByte('\n')
 	}
-	sb.WriteString("Balancing by edge count keeps imbalance near 1.0; peak per-device work\nfalls ~linearly with GPU count — ROC's balanced-SpMM result (§VII). ROC\nstill pays format translation per device, which NAPA avoids.\n")
+	sb.WriteString("Edge-balanced gradient shards keep imbalance near 1.0, so the busiest\n" +
+		"device's work falls ~linearly with device count (ROC's balanced-SpMM\n" +
+		"result, §VII) while the PCIe all-reduce adds a device-count-dependent\n" +
+		"communication term — the classic data-parallel scaling trade. The loss\n" +
+		"column is bitwise identical across device counts: the shard partition\n" +
+		"and the gradient fold order are fixed by the batch shape alone.\n")
 	return &Result{Text: sb.String()}, nil
 }

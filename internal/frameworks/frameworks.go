@@ -29,6 +29,7 @@ import (
 	"graphtensor/internal/kernels"
 	"graphtensor/internal/metrics"
 	"graphtensor/internal/models"
+	"graphtensor/internal/multigpu"
 	"graphtensor/internal/pipeline"
 	"graphtensor/internal/prep"
 	"graphtensor/internal/sampling"
@@ -104,6 +105,18 @@ type Options struct {
 	// during a concurrent validation Prepare — size gpusim memory (or
 	// lower the depth) accordingly.
 	PrefetchDepth int
+	// NumDevices selects the data-parallel engine: 0 (default) trains on
+	// the classic single-device engine; >=1 trains through a
+	// multigpu.DeviceGroup of that many devices. Every batch is carved into
+	// GradShards shape-fixed gradient shards, so the loss/weight trajectory
+	// is bitwise identical at any NumDevices in [1, GradShards] and any
+	// GOMAXPROCS. DKP is pinned to aggregation-first under data parallelism
+	// (its timing-driven placement would let replicas diverge).
+	NumDevices int
+	// GradShards is the fixed gradient-shard count of the data-parallel
+	// engine (0 = multigpu.DefaultShards). Trajectories are comparable
+	// across device counts only for an identical shard count.
+	GradShards int
 }
 
 // DefaultOptions mirrors the paper's experimental setup, scaled alongside
@@ -135,8 +148,13 @@ type Trainer struct {
 	overlap    bool
 	samplerCfg sampling.Config
 	sched      *pipeline.Scheduler
+	group      *multigpu.DeviceGroup
 	batchSeq   uint64
 }
+
+// Group returns the data-parallel device group, or nil when the trainer
+// runs the classic single-device engine (Options.NumDevices == 0).
+func (t *Trainer) Group() *multigpu.DeviceGroup { return t.group }
 
 // New assembles a trainer for the framework kind over the dataset.
 func New(kind Kind, ds *datasets.Dataset, opt Options) (*Trainer, error) {
@@ -177,16 +195,36 @@ func New(kind Kind, ds *datasets.Dataset, opt Options) (*Trainer, error) {
 		Strategy:  strategy,
 		EnableDKP: kind == DynamicGT || kind == PreproGT,
 	}
-	model, err := models.ByName(opt.Model, mp)
-	if err != nil {
-		return nil, err
+	if opt.NumDevices >= 1 {
+		// Data-parallel engine: one weight replica per device, DKP off (the
+		// orchestrator decides from measured wall time, which would let
+		// replicas diverge; the group pins aggregation-first anyway).
+		rp := mp
+		rp.EnableDKP = false
+		var err error
+		t.group, err = multigpu.NewGroup(opt.NumDevices, opt.GradShards, opt.Device, t.pinned,
+			func() (*core.Model, error) { return models.ByName(opt.Model, rp) })
+		if err != nil {
+			return nil, err
+		}
+		// Replica 0 is the canonical trained model: validation and
+		// inference read the weights the folded updates produce.
+		t.Model = t.group.Replica(0)
+	} else {
+		model, err := models.ByName(opt.Model, mp)
+		if err != nil {
+			return nil, err
+		}
+		t.Model = model
 	}
-	t.Model = model
 
 	if kind == PreproGT {
 		cfg := pipeline.DefaultConfig()
 		cfg.Sampler = t.samplerCfg
 		cfg.Format = t.format
+		// Under the device group, batches stage in host memory only: each
+		// device pays the PCIe scatter for its own shards instead.
+		cfg.HostOnly = t.group != nil
 		t.sched = pipeline.NewScheduler(ds.Graph, ds.Features, ds.Labels, t.Engine.Dev, cfg)
 	}
 	return t, nil
@@ -213,11 +251,33 @@ func (t *Trainer) Prepare(dsts []graph.VID, tl *metrics.Timeline) (*prep.Batch, 
 // batch-scoped arena (nil falls back to plain allocation); the prefetch
 // ring passes one arena per in-flight batch.
 func (t *Trainer) PrepareInto(dsts []graph.VID, tl *metrics.Timeline, arena *tensor.Arena) (*prep.Batch, error) {
+	var b *prep.Batch
+	var err error
 	if t.sched != nil {
-		return t.sched.PrepareArena(dsts, tl, arena)
+		b, err = t.sched.PrepareArena(dsts, tl, arena)
+	} else {
+		b, err = pipeline.SerialCfg(t.Dataset.Graph, t.Dataset.Features, t.Dataset.Labels,
+			t.Engine.Dev, dsts, t.samplerCfg,
+			prep.Config{Format: t.format, Pinned: t.pinned, Arena: arena, HostOnly: t.group != nil})
 	}
-	return pipeline.SerialArena(t.Dataset.Graph, t.Dataset.Features, t.Dataset.Labels,
-		t.Engine.Dev, dsts, t.samplerCfg, t.format, t.pinned, arena)
+	return b, err
+}
+
+// prepareTrainInto is PrepareInto for training batches: with a device group
+// it also attaches the data-parallel sub-batch plan, so the prefetch ring's
+// producer carves shards while the consumer computes. Validation and probe
+// batches go through PrepareInto and skip the partitioning work (the group
+// recomputes lazily if a training batch ever arrives without a plan).
+func (t *Trainer) prepareTrainInto(dsts []graph.VID, arena *tensor.Arena) (*prep.Batch, error) {
+	b, err := t.PrepareInto(dsts, nil, arena)
+	if err == nil && t.group != nil && b.Labels != nil {
+		b.SubBatches, err = multigpu.PartitionBatch(b, t.group.NumShards())
+		if err != nil {
+			b.Release()
+			return nil, err
+		}
+	}
+	return b, err
 }
 
 // NewRing builds this framework's prefetch ring over the dst lists:
@@ -241,7 +301,7 @@ func (t *Trainer) NewRingN(n int, next func(i int) []graph.VID) *pipeline.Ring {
 		}
 	}
 	return pipeline.NewRingFunc(depth, n, next, func(d []graph.VID, a *tensor.Arena) (*prep.Batch, error) {
-		return t.PrepareInto(d, nil, a)
+		return t.prepareTrainInto(d, a)
 	})
 }
 
@@ -259,8 +319,13 @@ func (t *Trainer) input(b *prep.Batch) (*core.Input, error) {
 }
 
 // Compute runs FWP + BWP + update on a prepared batch and returns the
-// loss; the caller owns releasing the batch.
+// loss; the caller owns releasing the batch. With NumDevices set the step
+// dispatches to the data-parallel device group instead of the single
+// engine device.
 func (t *Trainer) Compute(b *prep.Batch) (float64, error) {
+	if t.group != nil {
+		return t.group.TrainBatch(b, t.Opt.LearningRate)
+	}
 	in, err := t.input(b)
 	if err != nil {
 		return 0, err
@@ -299,14 +364,22 @@ func (t *Trainer) TrainBatch() (*BatchStats, error) {
 	st.Prep = time.Since(t0)
 	st.PrepParts = b.Breakdown
 
-	before := t.Engine.Dev.Snapshot()
+	var before gpusim.Counters
+	if t.group == nil {
+		before = t.Engine.Dev.Snapshot()
+	}
 	t1 := time.Now()
 	st.Loss, err = t.Compute(b)
 	if err != nil {
+		b.Release()
 		return nil, err
 	}
 	st.Compute = time.Since(t1)
-	st.Counters = t.Engine.Dev.Snapshot().Sub(before)
+	if t.group != nil {
+		st.Counters = t.group.LastStats().Counters
+	} else {
+		st.Counters = t.Engine.Dev.Snapshot().Sub(before)
+	}
 	st.Total = time.Since(t0)
 	b.Release()
 	return st, nil
@@ -431,7 +504,7 @@ func (t *Trainer) SimulatedEpoch(n int) (time.Duration, error) {
 // warmup alternates forced placements so the least-squares fit sees kernel
 // shapes from both orders; frameworks without DKP just run n batches.
 func (t *Trainer) Warmup(n int) error {
-	if t.Kind != DynamicGT && t.Kind != PreproGT {
+	if t.group != nil || (t.Kind != DynamicGT && t.Kind != PreproGT) {
 		for i := 0; i < n; i++ {
 			if _, err := t.TrainBatch(); err != nil {
 				return err

@@ -1,0 +1,129 @@
+package frameworks
+
+import (
+	"testing"
+
+	"graphtensor/internal/graph"
+)
+
+// collectWeights flattens the canonical replica's parameters.
+func collectWeights(t *Trainer) []float32 {
+	var w []float32
+	for _, l := range t.Model.Layers {
+		w = append(w, l.W.Data...)
+		w = append(w, l.B...)
+	}
+	return w
+}
+
+// trainEpochs trains the given device count through the prefetch ring (the
+// production path: Compute dispatching to the device group, sub-batch plans
+// attached by the ring producer) and returns per-epoch mean losses plus the
+// final weights.
+func trainEpochs(t *testing.T, kind Kind, numDevices, epochs, batches int) ([]float64, []float32, *Trainer) {
+	t.Helper()
+	ds := testDS(t)
+	opt := quickOpts()
+	opt.NumDevices = numDevices
+	tr, err := New(kind, ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var losses []float64
+	for e := 0; e < epochs; e++ {
+		_, loss, err := tr.TrainEpoch(batches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, loss)
+	}
+	return losses, collectWeights(tr), tr
+}
+
+// TestFourDeviceTrajectoryMatchesSingle is the acceptance guard of the
+// data-parallel engine: 4-device training through the full production path
+// (prefetch ring, worker-pool dispatch, PCIe-modeled all-reduce) reproduces
+// the 1-device loss and weight trajectory bitwise, and every device's
+// memory returns to zero between batches.
+func TestFourDeviceTrajectoryMatchesSingle(t *testing.T) {
+	for _, kind := range []Kind{BaseGT, PreproGT} {
+		oneLoss, oneW, oneTr := trainEpochs(t, kind, 1, 2, 4)
+		fourLoss, fourW, fourTr := trainEpochs(t, kind, 4, 2, 4)
+		for e := range oneLoss {
+			if oneLoss[e] != fourLoss[e] {
+				t.Errorf("%s epoch %d: 4-device loss %v != 1-device %v", kind, e, fourLoss[e], oneLoss[e])
+			}
+		}
+		if len(oneW) != len(fourW) {
+			t.Fatalf("%s: weight count mismatch", kind)
+		}
+		for i := range oneW {
+			if oneW[i] != fourW[i] {
+				t.Fatalf("%s: weight[%d] %v (4 dev) != %v (1 dev)", kind, i, fourW[i], oneW[i])
+			}
+		}
+		for _, tr := range []*Trainer{oneTr, fourTr} {
+			for gi, d := range tr.Group().Devices() {
+				if m := d.Dev.MemInUse(); m != 0 {
+					t.Errorf("%s: device %d holds %d bytes after training, want 0", kind, gi, m)
+				}
+			}
+		}
+	}
+}
+
+// TestMultiDeviceRingStopReleasesEverything: abandoning a multi-device run
+// mid-stream (Ring.Stop with batches prepared ahead) must leave zero live
+// device buffers — on the staging engine device (batch buffers) and on
+// every group device (arena-scoped compute buffers).
+func TestMultiDeviceRingStopReleasesEverything(t *testing.T) {
+	ds := testDS(t)
+	opt := quickOpts()
+	opt.NumDevices = 2
+	tr, err := New(PreproGT, ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := tr.NewRingN(12, func(int) []graph.VID { return tr.NextDsts() })
+	if _, _, err := tr.TrainStream(ring, 3); err != nil {
+		t.Fatal(err)
+	}
+	ring.Stop() // abandons the prepared-ahead tail
+	for _, label := range []string{"batch-embeddings", "batch-graphs"} {
+		if n := tr.Engine.Dev.BuffersInUse(label); n != 0 {
+			t.Errorf("%d %q buffers live after Stop", n, label)
+		}
+	}
+	for gi, d := range tr.Group().Devices() {
+		if m := d.Dev.MemInUse(); m != 0 {
+			t.Errorf("group device %d holds %d bytes after Stop, want 0", gi, m)
+		}
+	}
+}
+
+// TestMultiDeviceEvaluate: validation reads the canonical replica's trained
+// weights on the staging engine — it must work and stay in [0,1].
+func TestMultiDeviceEvaluate(t *testing.T) {
+	ds := testDS(t)
+	opt := quickOpts()
+	opt.NumDevices = 4
+	tr, err := New(BaseGT, ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.TrainEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Prepare(ds.BatchDsts(60, 999), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release()
+	acc, err := tr.Evaluate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0 || acc > 1 {
+		t.Errorf("accuracy %g out of range", acc)
+	}
+}

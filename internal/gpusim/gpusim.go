@@ -67,6 +67,7 @@ type Device struct {
 	inUse   int64
 	peak    int64
 	buffers map[int64]*Buffer
+	arena   *DeviceArena
 
 	// smMu guards smFree, the pool of recycled SMContexts. Kernel launches
 	// are frequent (one per GNN stage per batch) and each needs NumSMs
@@ -141,7 +142,64 @@ func (d *Device) Alloc(size int64, label string) (*Buffer, error) {
 		d.peak = d.inUse
 	}
 	d.buffers[b.base] = b
+	if d.arena != nil {
+		d.arena.bufs = append(d.arena.bufs, b)
+	}
 	return b, nil
+}
+
+// DeviceArena is the batch-scoped device allocator — the device analogue of
+// tensor.Arena. While installed on a device (SetArena), every Alloc is
+// recorded; Release frees whatever the batch did not free itself (kernel
+// intermediates, deliberately-retained translation buffers), so MemInUse
+// returns to zero between batches. Freeing a buffer twice is a no-op, so
+// code that already frees its allocations needs no changes.
+//
+// An arena is confined to the (single) goroutine that drives its device's
+// batches: Release must not race Alloc on the same device.
+type DeviceArena struct {
+	dev  *Device
+	bufs []*Buffer
+}
+
+// SetArena installs (or, with nil, removes) the device's batch arena and
+// returns it. Subsequent allocations are recorded until it is removed.
+func (d *Device) SetArena(a *DeviceArena) *DeviceArena {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if a != nil {
+		a.dev = d
+	}
+	d.arena = a
+	return a
+}
+
+// NewArena installs a fresh batch arena on the device.
+func (d *Device) NewArena() *DeviceArena { return d.SetArena(&DeviceArena{}) }
+
+// Release frees every still-live buffer allocated since the arena was
+// installed (or last released) and resets the recording, keeping capacity
+// for the next batch.
+func (a *DeviceArena) Release() {
+	for i, b := range a.bufs {
+		b.Free()
+		a.bufs[i] = nil
+	}
+	a.bufs = a.bufs[:0]
+}
+
+// Outstanding reports how many recorded buffers are still allocated (for
+// tests and leak diagnostics).
+func (a *DeviceArena) Outstanding() int {
+	n := 0
+	a.dev.mu.Lock()
+	defer a.dev.mu.Unlock()
+	for _, b := range a.bufs {
+		if !b.freed {
+			n++
+		}
+	}
+	return n
 }
 
 // MustAlloc is Alloc but panics on OOM; used where the paper's workloads

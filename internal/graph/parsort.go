@@ -55,6 +55,15 @@ func geti32Dirty(n int) *[]int32 {
 
 func puti32(v *[]int32) { i32Pool.Put(v) }
 
+// GetVIDs returns a pooled []VID of length n with undefined contents (the
+// caller fully overwrites it) — the staging discipline for transient edge
+// arrays like induced-subgraph COO construction. Return it with PutVIDs.
+func GetVIDs(n int) *[]VID { return geti32Dirty(n) }
+
+// PutVIDs returns a slice obtained from GetVIDs to the pool. The caller
+// must not use it (or any alias) afterwards.
+func PutVIDs(v *[]VID) { puti32(v) }
+
 // parSort is the dispatch context of one parallel counting sort.
 type parSort struct {
 	keys, vals, out []VID

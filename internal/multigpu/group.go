@@ -1,0 +1,618 @@
+package multigpu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"graphtensor/internal/core"
+	"graphtensor/internal/dkp"
+	"graphtensor/internal/gpusim"
+	"graphtensor/internal/graph"
+	"graphtensor/internal/kernels"
+	"graphtensor/internal/prep"
+	"graphtensor/internal/sched"
+	"graphtensor/internal/tensor"
+)
+
+// DefaultShards is the default gradient-shard count of a DeviceGroup. The
+// shard partition — not the device count — is what fixes the numerical
+// shape of a training step, so it must stay constant while device counts
+// vary for the trajectory to be reproducible across them; 8 divides evenly
+// across the 1/2/4/8-device sweeps the experiments run.
+const DefaultShards = 8
+
+// SubBatch is one gradient shard of a prepared batch, fully localized: the
+// induced per-layer subgraph chain below the shard's share of the batch dst
+// vertices, renumbered into compact local VID spaces so every device pays
+// only for the rows it computes (halo rows replicate across shards, the
+// standard data-parallel GNN discipline).
+type SubBatch struct {
+	Shard int
+	// Dsts are the global batch dst VIDs this shard owns (ascending); local
+	// final-layer dst i corresponds to global dst Dsts[i].
+	Dsts []graph.VID
+	// Layers[li] is the localized graph layer li+1 processes, in the same
+	// storage format(s) as the parent batch.
+	Layers []prep.LayerData
+	// XRows[j] is the batch-embedding row backing local layer-1 src j.
+	XRows []graph.VID
+	// Labels[i] is the class of local dst i.
+	Labels []int32
+	// Edges counts final-layer edges (the balance unit).
+	Edges int
+	// HostBytes is the shard's host→device payload (graphs + embeddings +
+	// labels), the input to the PCIe scatter model.
+	HostBytes int64
+}
+
+// BatchPlan is the shape-fixed decomposition of one prepared batch into
+// gradient shards. It depends only on the batch and the shard count — never
+// on the device count — and is attached to prep.Batch by the prefetch-ring
+// producer so partitioning overlaps the previous batch's compute.
+type BatchPlan struct {
+	Shards    int
+	Subs      []SubBatch
+	Imbalance float64
+}
+
+// PartitionBatch carves a prepared batch into `shards` localized sub-batches
+// by balancing final-layer edges (AssignByEdges) and back-chaining each
+// shard's induced subgraph through every GNN layer.
+func PartitionBatch(b *prep.Batch, shards int) (*BatchPlan, error) {
+	L := len(b.Layers)
+	if L == 0 {
+		return nil, errors.New("multigpu: batch has no layer graphs")
+	}
+	if len(b.Labels) == 0 {
+		return nil, errors.New("multigpu: batch has no labels (training plan needs them)")
+	}
+	csrs := make([]*graph.BCSR, L)
+	for li := 0; li < L; li++ {
+		switch {
+		case b.Layers[li].CSR != nil:
+			csrs[li] = b.Layers[li].CSR
+		case b.Layers[li].COO != nil:
+			// COO-format batches (Graph-approach) get a host-side CSR index
+			// for partitioning only; the shard still ships COO and the
+			// device pays its usual kernel-time translation.
+			csrs[li], _ = graph.BCOOToBCSR(b.Layers[li].COO)
+		default:
+			return nil, fmt.Errorf("multigpu: layer %d has no COO/CSR storage", li)
+		}
+	}
+	assign, imbalance := AssignByEdges(csrs[L-1], shards)
+	plan := &BatchPlan{Shards: shards, Subs: make([]SubBatch, len(assign)), Imbalance: imbalance}
+	for s := range assign {
+		sub := &plan.Subs[s]
+		sub.Shard = s
+		sub.Dsts = assign[s]
+		sub.Layers = make([]prep.LayerData, L)
+		need := assign[s]
+		for li := L - 1; li >= 0; li-- {
+			local, srcs := localize(csrs[li], need)
+			if li == L-1 {
+				sub.Edges = local.NumEdges()
+			}
+			sub.Layers[li] = formatLike(b.Layers[li], local)
+			need = srcs
+		}
+		sub.XRows = need
+		sub.Labels = make([]int32, len(sub.Dsts))
+		for i, d := range sub.Dsts {
+			sub.Labels[i] = b.Labels[d]
+		}
+		sub.HostBytes = prep.GraphBytes(sub.Layers) +
+			int64(len(sub.XRows))*int64(b.Embed.Dim)*4 + int64(len(sub.Labels))*4
+	}
+	return plan, nil
+}
+
+// localize builds the induced subgraph of csr on the given dsts with
+// compact local numbering: local dst i is dsts[i]; local srcs are numbered
+// in first-touch order (a pure function of the graph shape, so shard
+// contents never depend on device count or scheduling). It returns the
+// local CSR and the global ids backing each local src — which become the
+// next-lower layer's dst list, chaining the layers together.
+func localize(csr *graph.BCSR, dsts []graph.VID) (*graph.BCSR, []graph.VID) {
+	m := 0
+	for _, d := range dsts {
+		m += csr.Degree(d)
+	}
+	local := &graph.BCSR{NumDst: len(dsts), Ptr: make([]int32, len(dsts)+1), Srcs: make([]graph.VID, m)}
+	mapp := graph.GetVIDs(csr.NumSrc)
+	remap := *mapp
+	for i := range remap {
+		remap[i] = -1
+	}
+	var srcs []graph.VID
+	e := 0
+	for i, d := range dsts {
+		for _, sv := range csr.Neighbors(d) {
+			lid := remap[sv]
+			if lid < 0 {
+				lid = graph.VID(len(srcs))
+				remap[sv] = lid
+				srcs = append(srcs, sv)
+			}
+			local.Srcs[e] = lid
+			e++
+		}
+		local.Ptr[i+1] = int32(e)
+	}
+	local.NumSrc = len(srcs)
+	graph.PutVIDs(mapp)
+	return local, srcs
+}
+
+// formatLike emits the localized layer in the parent batch's storage
+// format(s), so every framework's kernels see exactly the format discipline
+// they see single-device (the Graph-approach keeps translating on device).
+func formatLike(parent prep.LayerData, local *graph.BCSR) prep.LayerData {
+	var out prep.LayerData
+	if parent.CSR != nil {
+		out.CSR = local
+	}
+	if parent.CSC != nil {
+		out.CSC = graph.BCSRToBCSC(local)
+	}
+	if parent.COO != nil {
+		out.COO = graph.BCSRToBCOO(local)
+	}
+	return out
+}
+
+// shardGrad is one shard's parameter-gradient contribution for one layer.
+type shardGrad struct {
+	dw *tensor.Matrix
+	db []float32
+}
+
+// GroupDev is one persistent simulated device of a DeviceGroup.
+type GroupDev struct {
+	Dev *gpusim.Device
+	// Ctx is the device's persistent kernel context (scratch + memos).
+	Ctx *kernels.Ctx
+	// Arena is the batch-scoped device allocator: released after every
+	// batch, so MemInUse returns to zero between batches.
+	Arena *gpusim.DeviceArena
+	// Model is the device's weight replica. Replicas start identical and
+	// stay identical: every device applies the same folded gradients.
+	Model *core.Model
+
+	pcie *gpusim.PCIe
+
+	// Per-batch state, touched only by this device's worker.
+	shards []int
+	err    error
+	cnt    gpusim.Counters
+	graphs []kernels.Graphs
+	gptrs  []*kernels.Graphs
+	input  core.Input
+}
+
+// GroupStats reports one data-parallel training step.
+type GroupStats struct {
+	Devices int
+	Shards  int
+	// Imbalance is the plan's final-layer edge imbalance across shards.
+	Imbalance float64
+	// Counters sums device work over all devices.
+	Counters gpusim.Counters
+	// PeakDeviceFLOPs is the busiest device's FLOP count (the scaling
+	// figure: it should fall ~linearly with device count).
+	PeakDeviceFLOPs int64
+	// MaxDeviceCompute is the busiest device's modeled kernel time.
+	MaxDeviceCompute time.Duration
+	// CommBytes / CommTime are the modeled PCIe traffic of the step: the
+	// per-device sub-batch scatter plus the ring gradient all-reduce.
+	CommBytes int64
+	CommTime  time.Duration
+	// StepTime is the modeled data-parallel step latency: the busiest
+	// device's compute followed by communication.
+	StepTime time.Duration
+}
+
+// DeviceGroup is the data-parallel training engine: a persistent set of
+// simulated devices, each owning its kernel context, its batch-scoped
+// device arena and a model replica. Every batch is carved into a fixed
+// number of gradient shards (see PartitionBatch); devices process their
+// shards' forward+backward locally, weight gradients are all-reduced over
+// the PCIe model by folding per-shard partials in ascending shard order,
+// and every replica applies the same deterministic SGD step.
+//
+// Because the shard partition and the fold order are fixed by the batch
+// shape alone, the loss/weight trajectory is bitwise identical at any
+// device count (1..Shards) and any GOMAXPROCS.
+type DeviceGroup struct {
+	devs   []*GroupDev
+	shards int
+	pinned bool
+
+	// Cross-shard reduction state. grads[s] is written by exactly one
+	// device (shard s's owner); the fold reads them after the barrier.
+	lossParts []float64
+	grads     [][]shardGrad
+	foldDW    []*tensor.Matrix
+	foldDB    [][]float32
+
+	// Per-batch run state (one TrainBatch at a time). The scratch slices
+	// (and the sorter behind the LPT assignment) are sized once in
+	// NewGroup, so the dispatch bookkeeping of a steady-state TrainBatch
+	// adds no per-batch slice or closure churn.
+	plan       *BatchPlan
+	batch      *prep.Batch
+	norm       int
+	commBytes0 []int64
+	commNs0    []time.Duration
+	shardOrder shardSorter
+	devLoads   []int
+
+	stats GroupStats
+}
+
+// shardLoad pairs a shard id with its balance weight for LPT assignment.
+type shardLoad struct{ s, edges int }
+
+// shardSorter orders shards by (edges desc, id asc) through sort.Sort on a
+// preallocated receiver — sort.Slice would allocate its swapper and
+// less-closure on every batch.
+type shardSorter struct{ s []shardLoad }
+
+func (x *shardSorter) Len() int { return len(x.s) }
+func (x *shardSorter) Less(i, j int) bool {
+	if x.s[i].edges != x.s[j].edges {
+		return x.s[i].edges > x.s[j].edges
+	}
+	return x.s[i].s < x.s[j].s
+}
+func (x *shardSorter) Swap(i, j int) { x.s[i], x.s[j] = x.s[j], x.s[i] }
+
+// NewGroup builds a data-parallel group of `devices` simulated devices
+// (cfg each), with the batch partition fixed at `shards` gradient shards
+// (0 = DefaultShards; devices must not exceed shards). newModel builds one
+// weight replica; it must be deterministic — every replica must start
+// bitwise identical, which NewGroup verifies. Dynamic kernel placement is
+// pinned to aggregation-first on every replica: DKP decides from measured
+// wall time, which would let replicas diverge.
+func NewGroup(devices, shards int, cfg gpusim.Config, pinned bool,
+	newModel func() (*core.Model, error)) (*DeviceGroup, error) {
+	if devices < 1 {
+		devices = 1
+	}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if devices > shards {
+		return nil, fmt.Errorf("multigpu: %d devices exceed %d gradient shards", devices, shards)
+	}
+	g := &DeviceGroup{shards: shards, pinned: pinned, lossParts: make([]float64, shards)}
+	for i := 0; i < devices; i++ {
+		m, err := newModel()
+		if err != nil {
+			return nil, err
+		}
+		dev := gpusim.NewDevice(cfg)
+		gd := &GroupDev{
+			Dev:    dev,
+			Ctx:    kernels.NewCtx(dev),
+			Arena:  dev.NewArena(),
+			Model:  m,
+			pcie:   dev.PCIe(),
+			graphs: make([]kernels.Graphs, len(m.Layers)),
+			gptrs:  make([]*kernels.Graphs, len(m.Layers)),
+		}
+		for li := range gd.graphs {
+			gd.gptrs[li] = &gd.graphs[li]
+		}
+		pinAggrFirst(m)
+		g.devs = append(g.devs, gd)
+	}
+	ref := g.devs[0].Model
+	for i, d := range g.devs {
+		if i > 0 && !sameWeights(ref, d.Model) {
+			return nil, errors.New("multigpu: model factory is not deterministic; replicas differ at init")
+		}
+	}
+	g.commBytes0 = make([]int64, devices)
+	g.commNs0 = make([]time.Duration, devices)
+	g.shardOrder.s = make([]shardLoad, shards)
+	g.devLoads = make([]int, devices)
+	g.grads = make([][]shardGrad, shards)
+	g.foldDW = make([]*tensor.Matrix, len(ref.Layers))
+	g.foldDB = make([][]float32, len(ref.Layers))
+	for li, l := range ref.Layers {
+		g.foldDW[li] = tensor.New(l.DW.Rows, l.DW.Cols)
+		g.foldDB[li] = make([]float32, len(l.DB))
+	}
+	for s := range g.grads {
+		g.grads[s] = make([]shardGrad, len(ref.Layers))
+		for li, l := range ref.Layers {
+			g.grads[s][li] = shardGrad{dw: tensor.New(l.DW.Rows, l.DW.Cols), db: make([]float32, len(l.DB))}
+		}
+	}
+	return g, nil
+}
+
+func pinAggrFirst(m *core.Model) {
+	p := dkp.AggrFirst
+	m.SetForcePlacement(&p)
+}
+
+func sameWeights(a, b *core.Model) bool {
+	if len(a.Layers) != len(b.Layers) {
+		return false
+	}
+	for li := range a.Layers {
+		la, lb := a.Layers[li], b.Layers[li]
+		if la.W.MaxAbsDiff(lb.W) != 0 {
+			return false
+		}
+		for j := range la.B {
+			if la.B[j] != lb.B[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NumDevices returns the group size.
+func (g *DeviceGroup) NumDevices() int { return len(g.devs) }
+
+// NumShards returns the fixed gradient-shard count.
+func (g *DeviceGroup) NumShards() int { return g.shards }
+
+// Devices exposes the group's devices (tests assert per-device invariants
+// like MemInUse()==0 between batches).
+func (g *DeviceGroup) Devices() []*GroupDev { return g.devs }
+
+// Replica returns device i's model replica (replica 0 doubles as the
+// canonical trained model for evaluation/inference).
+func (g *DeviceGroup) Replica(i int) *core.Model { return g.devs[i].Model }
+
+// LastStats returns the statistics of the most recent TrainBatch.
+func (g *DeviceGroup) LastStats() GroupStats { return g.stats }
+
+// assignShards maps shards to devices with LPT over final-layer edges
+// (heaviest shard to the lightest device, ties by lowest id), then orders
+// each device's shard list ascending. The mapping balances wall-clock work;
+// it cannot affect results — every shard's computation and the fold order
+// are independent of which device runs it.
+func (g *DeviceGroup) assignShards(plan *BatchPlan) {
+	order := g.shardOrder.s
+	for s := range plan.Subs {
+		order[s] = shardLoad{s, plan.Subs[s].Edges}
+	}
+	sort.Sort(&g.shardOrder)
+	loads := g.devLoads
+	for i := range loads {
+		loads[i] = 0
+	}
+	for _, d := range g.devs {
+		d.shards = d.shards[:0]
+	}
+	for _, o := range order {
+		min := 0
+		for i := 1; i < len(loads); i++ {
+			if loads[i] < loads[min] {
+				min = i
+			}
+		}
+		g.devs[min].shards = append(g.devs[min].shards, o.s)
+		loads[min] += o.edges
+	}
+	for _, d := range g.devs {
+		// Ascending shard order per device; the lists are tiny (≤ shards),
+		// so an allocation-free insertion sort beats sort.Ints here.
+		for i := 1; i < len(d.shards); i++ {
+			v := d.shards[i]
+			j := i - 1
+			for j >= 0 && d.shards[j] > v {
+				d.shards[j+1] = d.shards[j]
+				j--
+			}
+			d.shards[j+1] = v
+		}
+	}
+}
+
+// groupDeviceTask is the worker-pool entry: each claimed device index runs
+// its full per-batch work (all assigned shards, forward+backward).
+func groupDeviceTask(ctx any, lo, hi int) {
+	g := ctx.(*DeviceGroup)
+	for i := lo; i < hi; i++ {
+		g.runDevice(g.devs[i])
+	}
+}
+
+// zeroShard clears an empty shard's reduction slots: the fold still reads
+// every shard, and stale partials from a previous batch must contribute
+// exact zeros.
+func (g *DeviceGroup) zeroShard(s int) {
+	g.lossParts[s] = 0
+	for li := range g.grads[s] {
+		sg := &g.grads[s][li]
+		for i := range sg.dw.Data {
+			sg.dw.Data[i] = 0
+		}
+		for i := range sg.db {
+			sg.db[i] = 0
+		}
+	}
+}
+
+// runDevice trains every shard assigned to d for the current batch, then
+// closes the device's batch scope: per-graph memos dropped, device arena
+// released so MemInUse returns to zero.
+func (g *DeviceGroup) runDevice(d *GroupDev) {
+	before := d.Dev.Snapshot()
+	for _, s := range d.shards {
+		sub := &g.plan.Subs[s]
+		if len(sub.Dsts) == 0 {
+			g.zeroShard(s)
+			continue
+		}
+		if err := g.runShard(d, s, sub); err != nil {
+			d.err = err
+			break
+		}
+	}
+	d.cnt = d.Dev.Snapshot().Sub(before)
+	d.Ctx.EndBatch()
+	d.Arena.Release()
+}
+
+// runShard runs one shard's forward + backward on device d and harvests its
+// per-shard gradient partials.
+func (g *DeviceGroup) runShard(d *GroupDev, s int, sub *SubBatch) error {
+	dim := g.batch.Embed.Dim
+	x := tensor.Get(len(sub.XRows), dim)
+	for i, v := range sub.XRows {
+		copy(x.Row(i), g.batch.Embed.Row(v))
+	}
+	// The shard's payload crosses the link once per batch (pinned staging
+	// under the GraphTensor disciplines, pageable otherwise).
+	d.pcie.TransferBytes(sub.HostBytes, g.pinned)
+
+	xd, err := kernels.WrapDeviceMatrix(d.Dev, x, "shard-x")
+	if err != nil {
+		tensor.Put(x)
+		return err
+	}
+	for li := range sub.Layers {
+		d.graphs[li] = kernels.Graphs{COO: sub.Layers[li].COO, CSR: sub.Layers[li].CSR, CSC: sub.Layers[li].CSC}
+	}
+	d.input.Graphs = d.gptrs
+	d.input.X = xd
+	d.input.Labels = sub.Labels
+
+	fr, err := d.Model.Forward(d.Ctx, &d.input)
+	if err != nil {
+		return err
+	}
+	lossSum, dLogits := core.SoftmaxCrossEntropySum(fr.Logits.M, sub.Labels, g.norm)
+	g.lossParts[s] = lossSum
+	err = d.Model.Backward(d.Ctx, &d.input, fr, dLogits)
+	tensor.Put(dLogits)
+	fr.Logits.Free()
+	xd.Free()
+	tensor.Put(x)
+	if err != nil {
+		return err
+	}
+	// Harvest the shard's partials and clear the replica's accumulators so
+	// the next shard starts from zero.
+	for li, l := range d.Model.Layers {
+		sg := &g.grads[s][li]
+		copy(sg.dw.Data, l.DW.Data)
+		copy(sg.db, l.DB)
+		for i := range l.DW.Data {
+			l.DW.Data[i] = 0
+		}
+		for i := range l.DB {
+			l.DB[i] = 0
+		}
+	}
+	return nil
+}
+
+// TrainBatch runs one data-parallel training step over a prepared batch:
+// shard dispatch on the shared worker pool, per-shard forward+backward,
+// PCIe-modeled gradient all-reduce, one deterministic SGD step on every
+// replica. It returns the batch loss (identical at any device count).
+func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
+	plan, _ := b.SubBatches.(*BatchPlan)
+	if plan == nil || plan.Shards != g.shards {
+		var err error
+		plan, err = PartitionBatch(b, g.shards)
+		if err != nil {
+			return 0, err
+		}
+		b.SubBatches = plan
+	}
+	g.plan, g.batch, g.norm = plan, b, len(b.Labels)
+	g.assignShards(plan)
+
+	for i, d := range g.devs {
+		d.err = nil
+		g.commBytes0[i] = d.pcie.BytesMoved()
+		g.commNs0[i] = d.pcie.ModeledTime()
+	}
+
+	sched.RunChunk(len(g.devs), 1, sched.Workers(len(g.devs)), g, groupDeviceTask)
+
+	for _, d := range g.devs {
+		if d.err != nil {
+			g.plan, g.batch = nil, nil
+			return 0, d.err
+		}
+	}
+
+	// All-reduce: fold per-shard partials in ascending shard order — the
+	// order is fixed by the plan, not by devices — and hand every replica
+	// the identical result. The ring all-reduce's modeled traffic is
+	// 2·(N−1) steps of size/N per device.
+	ref := g.devs[0].Model
+	var gradBytes int64
+	for li := range ref.Layers {
+		fd, fb := g.foldDW[li], g.foldDB[li]
+		copy(fd.Data, g.grads[0][li].dw.Data)
+		copy(fb, g.grads[0][li].db)
+		for s := 1; s < g.shards; s++ {
+			sw := g.grads[s][li].dw.Data
+			for i := range fd.Data {
+				fd.Data[i] += sw[i]
+			}
+			sb := g.grads[s][li].db
+			for i := range fb {
+				fb[i] += sb[i]
+			}
+		}
+		gradBytes += int64(len(fd.Data)+len(fb)) * 4
+	}
+	if n := len(g.devs); n > 1 {
+		chunk := gradBytes / int64(n)
+		for _, d := range g.devs {
+			for step := 0; step < 2*(n-1); step++ {
+				d.pcie.TransferBytes(chunk, g.pinned)
+			}
+		}
+	}
+	var lossSum float64
+	for s := 0; s < g.shards; s++ {
+		lossSum += g.lossParts[s]
+	}
+	loss := lossSum / float64(g.norm)
+
+	for _, d := range g.devs {
+		for li, l := range d.Model.Layers {
+			copy(l.DW.Data, g.foldDW[li].Data)
+			copy(l.DB, g.foldDB[li])
+		}
+		d.Model.Step(lr)
+	}
+
+	// Step statistics: compute scales with the busiest device; comm is the
+	// slowest link's modeled scatter + all-reduce time.
+	st := GroupStats{Devices: len(g.devs), Shards: g.shards, Imbalance: plan.Imbalance}
+	tm := gpusim.DefaultKernelTimeModel()
+	for i, d := range g.devs {
+		st.Counters = st.Counters.Add(d.cnt)
+		if d.cnt.FLOPs > st.PeakDeviceFLOPs {
+			st.PeakDeviceFLOPs = d.cnt.FLOPs
+		}
+		if est := d.Dev.Estimate(tm, d.cnt); est > st.MaxDeviceCompute {
+			st.MaxDeviceCompute = est
+		}
+		st.CommBytes += d.pcie.BytesMoved() - g.commBytes0[i]
+		if ct := d.pcie.ModeledTime() - g.commNs0[i]; ct > st.CommTime {
+			st.CommTime = ct
+		}
+	}
+	st.StepTime = st.MaxDeviceCompute + st.CommTime
+	g.stats = st
+	g.plan, g.batch = nil, nil
+	return loss, nil
+}

@@ -46,6 +46,11 @@ type Config struct {
 	// the hash table (Fig 14c). Disabling it reproduces the contended
 	// discipline of Fig 14a.
 	RelaxContention bool
+	// HostOnly skips the T subtasks: batches stay in host staging memory
+	// with no device buffers (see prep.Config.HostOnly — the data-parallel
+	// DeviceGroup's discipline, where each device transfers its own
+	// shards). K chunks still stream into the assembled table as they land.
+	HostOnly bool
 	// Workers bounds the scheduler's concurrent subtasks (0 = GOMAXPROCS).
 	Workers int
 }
@@ -222,11 +227,15 @@ func (s *Scheduler) PrepareArena(batchDsts []graph.VID, tl *metrics.Timeline, ar
 
 	st := time.Now()
 	embed := graph.NewEmbeddingTableArena(arena, nTotal, s.features.Dim)
-	ebuf, err := s.dev.Alloc(embed.Bytes(), "batch-embeddings")
-	if err != nil {
-		wg.Wait()
-		releaseStaged()
-		return nil, err
+	var ebuf *gpusim.Buffer
+	if !s.cfg.HostOnly {
+		var err error
+		ebuf, err = s.dev.Alloc(embed.Bytes(), "batch-embeddings")
+		if err != nil {
+			wg.Wait()
+			releaseStaged()
+			return nil, err
+		}
 	}
 	bd.Add("transfer", time.Since(st))
 
@@ -255,9 +264,13 @@ func (s *Scheduler) PrepareArena(batchDsts []graph.VID, tl *metrics.Timeline, ar
 		}
 		for _, ch := range pending {
 			st := time.Now()
-			d := pcie.Transfer(embed.Data.Data[ch.lo*s.features.Dim:ch.hi*s.features.Dim], ch.data.Data.Data, s.cfg.Pinned)
+			dst := embed.Data.Data[ch.lo*s.features.Dim : ch.hi*s.features.Dim]
+			if s.cfg.HostOnly {
+				copy(dst, ch.data.Data.Data)
+			} else {
+				link.Pay(pcie.Transfer(dst, ch.data.Data.Data, s.cfg.Pinned))
+			}
 			tensor.Put(ch.data.Data)
-			link.Pay(d)
 			bd.Add("transfer", time.Since(st))
 			transferred += ch.hi - ch.lo
 			record("transfer", transferred, wantVertices)
@@ -273,14 +286,18 @@ func (s *Scheduler) PrepareArena(batchDsts []graph.VID, tl *metrics.Timeline, ar
 
 	// Graph structures transfer after the R subtasks complete.
 	st = time.Now()
-	gBytes := prep.GraphBytes(layers)
-	gbuf, err := s.dev.Alloc(gBytes, "batch-graphs")
-	if err != nil {
-		ebuf.Free()
-		return nil, err
+	var bufs []*gpusim.Buffer
+	if !s.cfg.HostOnly {
+		gBytes := prep.GraphBytes(layers)
+		gbuf, err := s.dev.Alloc(gBytes, "batch-graphs")
+		if err != nil {
+			ebuf.Free()
+			return nil, err
+		}
+		link.Pay(pcie.TransferBytes(gBytes, s.cfg.Pinned))
+		link.Flush()
+		bufs = []*gpusim.Buffer{ebuf, gbuf}
 	}
-	link.Pay(pcie.TransferBytes(gBytes, s.cfg.Pinned))
-	link.Flush()
 	bd.Add("transfer", time.Since(st))
 	record("transfer", wantVertices, wantVertices)
 
@@ -289,7 +306,7 @@ func (s *Scheduler) PrepareArena(batchDsts []graph.VID, tl *metrics.Timeline, ar
 		Layers:        layers,
 		Embed:         embed,
 		Breakdown:     bd,
-		DeviceBuffers: []*gpusim.Buffer{ebuf, gbuf},
+		DeviceBuffers: bufs,
 	}
 	if s.labels != nil {
 		batch.Labels = make([]int32, len(res.Batch))
@@ -320,9 +337,17 @@ func Serial(full *graph.CSR, features *graph.EmbeddingTable, labels []int32,
 func SerialArena(full *graph.CSR, features *graph.EmbeddingTable, labels []int32,
 	dev *gpusim.Device, batchDsts []graph.VID, samplerCfg sampling.Config,
 	format prep.Format, pinned bool, arena *tensor.Arena) (*prep.Batch, error) {
-	sampler := sampling.New(full, samplerCfg)
-	return prep.Serial(sampler, features, labels, dev, batchDsts,
+	return SerialCfg(full, features, labels, dev, batchDsts, samplerCfg,
 		prep.Config{Format: format, Pinned: pinned, Arena: arena})
+}
+
+// SerialCfg is the serial chain with a full prep.Config (arena, pinning,
+// host-only staging).
+func SerialCfg(full *graph.CSR, features *graph.EmbeddingTable, labels []int32,
+	dev *gpusim.Device, batchDsts []graph.VID, samplerCfg sampling.Config,
+	cfg prep.Config) (*prep.Batch, error) {
+	sampler := sampling.New(full, samplerCfg)
+	return prep.Serial(sampler, features, labels, dev, batchDsts, cfg)
 }
 
 // String describes the scheduler configuration.

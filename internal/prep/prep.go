@@ -68,6 +68,13 @@ type Batch struct {
 	DeviceBuffers []*gpusim.Buffer
 	Breakdown     *metrics.Breakdown
 
+	// SubBatches optionally carries the batch's data-parallel decomposition
+	// (a *multigpu.BatchPlan; opaque here to avoid an import cycle). The
+	// prefetch-ring producer attaches it so per-device sub-batch
+	// construction overlaps the previous batch's compute, and the
+	// DeviceGroup consumes it.
+	SubBatches any
+
 	// OnRelease, when set, runs once after the device buffers are freed.
 	// The prefetch ring uses it to recycle the batch's arena-backed host
 	// buffers; after it fires, the batch's Embed storage is invalid.
@@ -177,6 +184,12 @@ type Config struct {
 	// storage; the prefetch ring recycles it across batches through
 	// Batch.OnRelease.
 	Arena *tensor.Arena
+	// HostOnly skips the T task: the batch stays in host (pinned staging)
+	// memory and owns no device buffers. The data-parallel DeviceGroup
+	// prepares batches this way — each device then pays the PCIe scatter
+	// for exactly its shards, so the input transfer is not double-counted
+	// against an idle staging device.
+	HostOnly bool
 }
 
 // Serial runs the classic serialized preprocessing chain
@@ -215,8 +228,10 @@ func Serial(sampler *sampling.Sampler, features *graph.EmbeddingTable,
 			batch.Labels[i] = labels[orig]
 		}
 	}
-	if err := TransferArena(batch, dev, cfg.Pinned, cfg.Arena); err != nil {
-		return nil, err
+	if !cfg.HostOnly {
+		if err := TransferArena(batch, dev, cfg.Pinned, cfg.Arena); err != nil {
+			return nil, err
+		}
 	}
 	bd.Add("transfer", time.Since(t0))
 	return batch, nil

@@ -1,0 +1,8 @@
+//go:build !race
+
+package sched
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count assertions are meaningless under it: the instrumentation
+// itself allocates per dispatch.
+const raceEnabled = false

@@ -17,7 +17,11 @@ import (
 type Config struct {
 	Epochs          int
 	BatchesPerEpoch int
-	LearningRate    float32
+	// LearningRate > 0 overrides the trainer's SGD learning rate for the
+	// run; 0 (the zero value) keeps the trainer's configured rate; < 0
+	// freezes the weights (no updates — useful for evaluation-only runs
+	// and early-stop tests).
+	LearningRate float32
 	// ValEvery evaluates on the validation batch every N epochs (0 = never).
 	ValEvery int
 	// EarlyStopPatience stops if validation accuracy does not improve for
@@ -79,6 +83,17 @@ func NewDriver(tr *frameworks.Trainer, cfg Config, valDsts []graph.VID) *Driver 
 // validation batch can hold device buffers at once (see
 // frameworks.Options.PrefetchDepth).
 func (d *Driver) Run() (*History, error) {
+	// Apply the run's learning-rate override for the duration of the run
+	// only; the trainer's configured rate is restored on return.
+	if d.cfg.LearningRate != 0 {
+		prev := d.tr.Opt.LearningRate
+		defer func() { d.tr.Opt.LearningRate = prev }()
+		if d.cfg.LearningRate > 0 {
+			d.tr.Opt.LearningRate = d.cfg.LearningRate
+		} else {
+			d.tr.Opt.LearningRate = 0
+		}
+	}
 	h := &History{}
 	sinceImprove := 0
 	// Dst lists are drawn lazily on the ring's producer as each batch's

@@ -49,15 +49,16 @@ func TestDriverRunsEpochs(t *testing.T) {
 
 func TestDriverEarlyStop(t *testing.T) {
 	tr, ds := newTrainer(t, frameworks.BaseGT)
-	cfg := Config{Epochs: 50, BatchesPerEpoch: 2, LearningRate: 0, ValEvery: 1, EarlyStopPatience: 3}
-	// LearningRate 0 means accuracy never improves -> early stop must fire.
+	cfg := Config{Epochs: 50, BatchesPerEpoch: 2, LearningRate: -1, ValEvery: 1, EarlyStopPatience: 3}
+	// LearningRate -1 freezes the weights, so accuracy never improves and
+	// early stop must fire.
 	d := NewDriver(tr, cfg, ds.BatchDsts(50, 7))
 	h, err := d.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !h.StoppedEarly {
-		t.Error("expected early stop with zero learning rate")
+		t.Error("expected early stop with frozen weights")
 	}
 	if len(h.Epochs) >= 50 {
 		t.Error("early stop did not cut the run short")
@@ -70,18 +71,63 @@ func TestDriverEarlyStop(t *testing.T) {
 // the observable proof the drain ran.
 func TestDriverEarlyStopDrainsRing(t *testing.T) {
 	tr, ds := newTrainer(t, frameworks.PreproGT)
-	cfg := Config{Epochs: 40, BatchesPerEpoch: 2, LearningRate: 0, ValEvery: 1, EarlyStopPatience: 2}
+	cfg := Config{Epochs: 40, BatchesPerEpoch: 2, LearningRate: -1, ValEvery: 1, EarlyStopPatience: 2}
 	d := NewDriver(tr, cfg, ds.BatchDsts(50, 11))
 	h, err := d.Run()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !h.StoppedEarly {
-		t.Fatal("expected early stop with zero learning rate")
+		t.Fatal("expected early stop with frozen weights")
 	}
 	for _, label := range []string{"batch-embeddings", "batch-graphs"} {
 		if n := tr.Engine.Dev.BuffersInUse(label); n != 0 {
 			t.Errorf("%d %q buffers still allocated after early stop (prefetched batches not drained)", n, label)
+		}
+	}
+}
+
+// TestDriverMultiDevice trains real epochs through the data-parallel device
+// group: the driver's single prefetch ring feeds sub-batch plans to the
+// group, the trajectory matches a 1-device run bitwise, and every group
+// device ends the run with zero bytes allocated (the device-arena
+// discipline), including when early stopping abandons prefetched batches.
+func TestDriverMultiDevice(t *testing.T) {
+	run := func(numDevices int) *History {
+		ds, err := datasets.Generate("products", datasets.TestScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := frameworks.DefaultOptions()
+		opt.BatchSize = 50
+		opt.NumDevices = numDevices
+		tr, err := frameworks.New(frameworks.PreproGT, ds, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Epochs: 30, BatchesPerEpoch: 2, LearningRate: -1, ValEvery: 1, EarlyStopPatience: 2}
+		d := NewDriver(tr, cfg, ds.BatchDsts(50, 11))
+		h, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi, gd := range tr.Group().Devices() {
+			if m := gd.Dev.MemInUse(); m != 0 {
+				t.Errorf("numDevices=%d: group device %d holds %d bytes after run, want 0", numDevices, gi, m)
+			}
+		}
+		return h
+	}
+	one, four := run(1), run(4)
+	if !one.StoppedEarly || !four.StoppedEarly {
+		t.Fatal("expected early stop with frozen weights")
+	}
+	if len(one.Epochs) != len(four.Epochs) {
+		t.Fatalf("1-device ran %d epochs, 4-device %d", len(one.Epochs), len(four.Epochs))
+	}
+	for e := range one.Epochs {
+		if one.Epochs[e].MeanLoss != four.Epochs[e].MeanLoss {
+			t.Errorf("epoch %d: 4-device loss %v != 1-device %v", e, four.Epochs[e].MeanLoss, one.Epochs[e].MeanLoss)
 		}
 	}
 }

@@ -1,16 +1,26 @@
 // Command benchdiff compares two BENCH_<n>.json snapshots produced by
 // `gtbench -micro` / scripts/bench.sh and prints the per-benchmark delta in
 // best ns/op, B/op and allocs/op. It exits non-zero when any benchmark
-// present in both snapshots regressed by more than the threshold (default
-// 15% ns/op), making it usable as a CI gate on the perf trajectory:
+// present in both snapshots regressed beyond a gate, making it usable as a
+// CI gate on the perf trajectory. Two gates apply:
+//
+//   - ns/op: a regression of more than -threshold percent (default 15%).
+//   - allocs/op: growth beyond -allocslack allocations (default 2) — the
+//     allocation disciplines (arena, worker pool, device arena) are a
+//     ratcheted invariant, so new steady-state allocations fail the diff.
+//     Benchmarks that legitimately change shape get headroom via a larger
+//     -allocslack, not by dropping the gate.
+//
+// Usage:
 //
 //	go run ./scripts/benchdiff BENCH_1.json BENCH_2.json
-//	go run ./scripts/benchdiff -threshold 10 BENCH_1.json BENCH_2.json
+//	go run ./scripts/benchdiff -threshold 10 -allocslack 0 BENCH_1.json BENCH_2.json
 //	go run ./scripts/benchdiff -smoke BENCH_1.json BENCH_2.json  # never fails
 //
 // -smoke prints the comparison but always exits 0; CI uses it so snapshots
 // captured on different machines don't fail unrelated pushes, while local
-// runs keep the hard gate.
+// runs keep the hard gates. (allocs/op is machine-independent, so even the
+// smoke output makes allocation regressions obvious.)
 package main
 
 import (
@@ -52,6 +62,7 @@ func load(path string) (*benchFile, error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression in percent before failing")
+	allocSlack := flag.Int64("allocslack", 2, "max allowed allocs/op growth before failing (small allowance for benchmarks that legitimately change)")
 	smoke := flag.Bool("smoke", false, "print the diff but always exit 0 (CI smoke mode)")
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -91,6 +102,11 @@ func main() {
 		mark := ""
 		if pct > *threshold {
 			mark = "  REGRESSION"
+		}
+		if nb.AllocsPerOp > ob.AllocsPerOp+*allocSlack {
+			mark += "  ALLOC-REGRESSION"
+		}
+		if mark != "" {
 			regressed++
 		}
 		fmt.Printf("%-38s %14.0f %14.0f %8.1f%% %12d %12d%s\n",
@@ -100,7 +116,8 @@ func main() {
 	for name := range oldBy {
 		fmt.Printf("%-38s  (dropped from new snapshot)\n", name)
 	}
-	fmt.Printf("%d benchmarks compared, %d regressed beyond %.0f%%\n", compared, regressed, *threshold)
+	fmt.Printf("%d benchmarks compared, %d regressed (ns/op gate %.0f%%, allocs/op slack %d)\n",
+		compared, regressed, *threshold, *allocSlack)
 	if regressed > 0 && !*smoke {
 		os.Exit(1)
 	}
