@@ -19,6 +19,7 @@ import (
 	"graphtensor/internal/gpusim"
 	"graphtensor/internal/graph"
 	"graphtensor/internal/kernels"
+	"graphtensor/internal/pipeline"
 	"graphtensor/internal/sampling"
 	"graphtensor/internal/tensor"
 )
@@ -189,7 +190,7 @@ func BenchmarkMultiGPUTrainBatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, nd := range []int{1, 2, 4} {
+	for _, nd := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("devs=%d", nd), func(b *testing.B) {
 			opt := frameworks.DefaultOptions()
 			opt.NumDevices = nd
@@ -205,6 +206,36 @@ func BenchmarkMultiGPUTrainBatch(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPrepareBatch is the producer-only benchmark: sample → reindex/
+// translate → localize into gradient shards, through one warm prefetch-ring
+// slot (arena + structure pool), with no compute and no device transfer.
+// Its allocs/op is the steady-state allocation floor of the producer-arena
+// discipline — a small constant independent of how many batches ran before.
+func BenchmarkPrepareBatch(b *testing.B) {
+	ds, err := datasets.Generate("products", datasets.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := frameworks.DefaultOptions()
+	opt.NumDevices = 2 // host-only staging + shard localization, the group's producer path
+	tr, err := frameworks.New(frameworks.PreproGT, ds, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	slot := pipeline.NewSlot()
+	dsts := ds.BatchDsts(opt.BatchSize, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch, err := tr.PrepareTrainInto(dsts, slot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch.Release()
+		slot.Recycle(batch)
 	}
 }
 

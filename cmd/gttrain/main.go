@@ -85,9 +85,11 @@ func main() {
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
 	if g := tr.Group(); g != nil {
 		st := g.LastStats()
-		fmt.Printf("data-parallel step (last batch): %d devices, imbalance %.2fx, peak dev FLOPs %d, modeled compute %v + comm %v = %v\n",
+		fmt.Printf("data-parallel step (last batch): %d devices, imbalance %.2fx, peak dev FLOPs %d, modeled compute %v + comm %v, step %v overlapped (%v serialized, %.0f%% of the scatter hidden)\n",
 			st.Devices, st.Imbalance, st.PeakDeviceFLOPs,
-			st.MaxDeviceCompute.Round(time.Microsecond), st.CommTime.Round(time.Microsecond), st.StepTime.Round(time.Microsecond))
+			st.MaxDeviceCompute.Round(time.Microsecond), st.CommTime.Round(time.Microsecond),
+			st.StepTime.Round(time.Microsecond), st.StepTimeSerial.Round(time.Microsecond),
+			st.OverlapEfficiency*100)
 		return
 	}
 	fmt.Printf("kernel phase breakdown:\n%s", tr.Engine.Phases())

@@ -73,8 +73,11 @@ func main() {
 	fmt.Printf("%-22s %13.2fx %13.2fx\n", "shard imbalance", st1.Imbalance, st4.Imbalance)
 	fmt.Printf("%-22s %14d %14d\n", "peak device FLOPs", st1.PeakDeviceFLOPs, st4.PeakDeviceFLOPs)
 	fmt.Printf("%-22s %14s %14s\n", "modeled compute", st1.MaxDeviceCompute.Round(time.Microsecond), st4.MaxDeviceCompute.Round(time.Microsecond))
-	fmt.Printf("%-22s %14s %14s\n", "modeled comm", st1.CommTime.Round(time.Microsecond), st4.CommTime.Round(time.Microsecond))
-	fmt.Printf("%-22s %14s %14s\n", "modeled step", st1.StepTime.Round(time.Microsecond), st4.StepTime.Round(time.Microsecond))
+	fmt.Printf("%-22s %14s %14s\n", "modeled scatter", st1.ScatterTime.Round(time.Microsecond), st4.ScatterTime.Round(time.Microsecond))
+	fmt.Printf("%-22s %14s %14s\n", "modeled all-reduce", st1.AllReduceTime.Round(time.Microsecond), st4.AllReduceTime.Round(time.Microsecond))
+	fmt.Printf("%-22s %13.0f%% %13.0f%%\n", "overlap efficiency", st1.OverlapEfficiency*100, st4.OverlapEfficiency*100)
+	fmt.Printf("%-22s %14s %14s\n", "modeled step (serial)", st1.StepTimeSerial.Round(time.Microsecond), st4.StepTimeSerial.Round(time.Microsecond))
+	fmt.Printf("%-22s %14s %14s\n", "modeled step (overlap)", st1.StepTime.Round(time.Microsecond), st4.StepTime.Round(time.Microsecond))
 	fmt.Printf("%-22s %14s %13.2fx\n", "step speedup", "1.00x", float64(st1.StepTime)/float64(st4.StepTime))
 
 	fmt.Println("\nper-device memory after training (device-arena discipline):")

@@ -6,22 +6,26 @@ import (
 	"time"
 
 	"graphtensor/internal/frameworks"
+	"graphtensor/internal/gpusim"
 	"graphtensor/internal/multigpu"
 )
 
 func init() {
-	register("multigpu", "Data-parallel training scaling: balance + per-device work + comm (§VII)", runMultiGPU)
+	register("multigpu", "Data-parallel training scaling: balance + per-device work + comm overlap (§VII)", runMultiGPU)
 }
 
 // runMultiGPU measures the data-parallel training engine built on ROC's
 // balanced-edge partitioning (§VII [19]): each batch is carved into
 // shape-fixed gradient shards with BalanceByEdges, devices train their
 // shards (forward + backward), and weight gradients are all-reduced over
-// the PCIe model. For 1/2/4/8 devices it reports the shard imbalance, the
+// the group's interconnect. For 1/2/4/8 devices — on the flat PCIe ring and
+// on the NVLink-style topology — it reports the shard imbalance, the
 // busiest device's work (which should fall ~linearly), the modeled
-// communication cost the all-reduce adds, and the resulting modeled step
-// speedup. The loss column is the proof of exactness: it is bitwise
-// identical at every device count.
+// communication cost, the overlap efficiency of the steady-state schedule
+// (the next batch's shard scatter hiding under the previous all-reduce
+// drain) and the resulting modeled step speedup. The loss column is the
+// proof of exactness: it is bitwise identical at every device count and on
+// every topology.
 func runMultiGPU(cfg Config) (*Result, error) {
 	datasets := []string{"products", "reddit2"}
 	if cfg.Quick {
@@ -31,51 +35,66 @@ func runMultiGPU(cfg Config) (*Result, error) {
 	if batches <= 0 {
 		batches = 3
 	}
+	topologies := []struct {
+		name string
+		ic   gpusim.InterconnectConfig
+	}{
+		{"pcie-ring", gpusim.DefaultInterconnect()},
+		{"nvlink", gpusim.NVLinkInterconnect()},
+	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-12s %5s %10s %16s %10s %10s %10s %8s %10s\n",
-		"dataset", "nGPU", "imbalance", "peak dev FLOPs", "compute", "comm", "step", "speedup", "loss")
+	fmt.Fprintf(&sb, "%-12s %-10s %5s %10s %16s %10s %10s %8s %10s %8s %10s\n",
+		"dataset", "fabric", "nGPU", "imbalance", "peak dev FLOPs", "compute", "comm", "overlap", "step", "speedup", "loss")
 	for _, name := range datasets {
 		ds, err := loadDataset(cfg, name)
 		if err != nil {
 			return nil, err
 		}
-		var baseStep time.Duration
-		for _, nGPU := range []int{1, 2, 4, 8} {
-			opt := frameworks.DefaultOptions()
-			opt.Device = cfg.device()
-			opt.NumDevices = nGPU
-			opt.GradShards = multigpu.DefaultShards
-			tr, err := frameworks.New(frameworks.BaseGT, ds, opt)
-			if err != nil {
-				return nil, err
-			}
-			var loss float64
-			var st multigpu.GroupStats
-			for i := 0; i < batches; i++ {
-				bs, err := tr.TrainBatch()
+		for _, topo := range topologies {
+			var baseStep time.Duration
+			for _, nGPU := range []int{1, 2, 4, 8} {
+				opt := frameworks.DefaultOptions()
+				opt.Device = cfg.device()
+				opt.Device.Interconnect = topo.ic
+				opt.NumDevices = nGPU
+				opt.GradShards = multigpu.DefaultShards
+				tr, err := frameworks.New(frameworks.BaseGT, ds, opt)
 				if err != nil {
 					return nil, err
 				}
-				loss = bs.Loss
-				st = tr.Group().LastStats()
+				var loss float64
+				var st multigpu.GroupStats
+				for i := 0; i < batches; i++ {
+					bs, err := tr.TrainBatch()
+					if err != nil {
+						return nil, err
+					}
+					loss = bs.Loss
+					st = tr.Group().LastStats()
+				}
+				if nGPU == 1 {
+					baseStep = st.StepTime
+				}
+				fmt.Fprintf(&sb, "%-12s %-10s %5d %9.2fx %16d %10s %10s %7.0f%% %10s %7.2fx %10.6f\n",
+					name, topo.name, nGPU, st.Imbalance, st.PeakDeviceFLOPs,
+					st.MaxDeviceCompute.Round(time.Microsecond),
+					st.CommTime.Round(time.Microsecond),
+					st.OverlapEfficiency*100,
+					st.StepTime.Round(time.Microsecond),
+					float64(baseStep)/float64(st.StepTime), loss)
 			}
-			if nGPU == 1 {
-				baseStep = st.StepTime
-			}
-			fmt.Fprintf(&sb, "%-12s %5d %9.2fx %16d %10s %10s %10s %7.2fx %10.6f\n",
-				name, nGPU, st.Imbalance, st.PeakDeviceFLOPs,
-				st.MaxDeviceCompute.Round(time.Microsecond),
-				st.CommTime.Round(time.Microsecond),
-				st.StepTime.Round(time.Microsecond),
-				float64(baseStep)/float64(st.StepTime), loss)
 		}
 		sb.WriteByte('\n')
 	}
 	sb.WriteString("Edge-balanced gradient shards keep imbalance near 1.0, so the busiest\n" +
 		"device's work falls ~linearly with device count (ROC's balanced-SpMM\n" +
-		"result, §VII) while the PCIe all-reduce adds a device-count-dependent\n" +
-		"communication term — the classic data-parallel scaling trade. The loss\n" +
-		"column is bitwise identical across device counts: the shard partition\n" +
-		"and the gradient fold order are fixed by the batch shape alone.\n")
+		"result, §VII) while the all-reduce adds a device-count-dependent\n" +
+		"communication term. The overlapped schedule issues the next batch's\n" +
+		"shard scatter while the previous all-reduce drains: on the flat PCIe\n" +
+		"ring the shared fabric contends (partial overlap), on the NVLink-style\n" +
+		"topology the collective leaves PCIe free and the scatter hides\n" +
+		"entirely. The loss column is bitwise identical across device counts\n" +
+		"and fabrics: the shard partition and the gradient fold order are fixed\n" +
+		"by the batch shape alone, and comm modeling never touches numerics.\n")
 	return &Result{Text: sb.String()}, nil
 }

@@ -33,7 +33,6 @@ import (
 	"graphtensor/internal/pipeline"
 	"graphtensor/internal/prep"
 	"graphtensor/internal/sampling"
-	"graphtensor/internal/tensor"
 )
 
 // Kind identifies a framework build.
@@ -147,9 +146,15 @@ type Trainer struct {
 	pinned     bool
 	overlap    bool
 	samplerCfg sampling.Config
+	sampler    *sampling.Sampler
 	sched      *pipeline.Scheduler
 	group      *multigpu.DeviceGroup
 	batchSeq   uint64
+
+	// slots is the trainer's persistent prefetch-slot rotation: every ring
+	// the trainer builds draws from this free-list, so slot storage (arenas
+	// + producer structure pools) survives across rings and epochs.
+	slots chan *pipeline.Slot
 }
 
 // Group returns the data-parallel device group, or nil when the trainer
@@ -226,6 +231,10 @@ func New(kind Kind, ds *datasets.Dataset, opt Options) (*Trainer, error) {
 		// device pays the PCIe scatter for its own shards instead.
 		cfg.HostOnly = t.group != nil
 		t.sched = pipeline.NewScheduler(ds.Graph, ds.Features, ds.Labels, t.Engine.Dev, cfg)
+	} else {
+		// Serial-prep frameworks own a persistent sampler (its hop scratch
+		// pool is the reuse surface); the pipelined scheduler owns its own.
+		t.sampler = sampling.New(ds.Graph, t.samplerCfg)
 	}
 	return t, nil
 }
@@ -247,31 +256,35 @@ func (t *Trainer) Prepare(dsts []graph.VID, tl *metrics.Timeline) (*prep.Batch, 
 	return t.PrepareInto(dsts, tl, nil)
 }
 
-// PrepareInto is Prepare with the batch's host buffers drawn from a
-// batch-scoped arena (nil falls back to plain allocation); the prefetch
-// ring passes one arena per in-flight batch.
-func (t *Trainer) PrepareInto(dsts []graph.VID, tl *metrics.Timeline, arena *tensor.Arena) (*prep.Batch, error) {
+// PrepareInto is Prepare with the batch's storage drawn from a prefetch
+// ring slot — dense host buffers from its arena, producer structures
+// (sampler result, layer graphs, labels) from its structure pool. A nil
+// slot falls back to plain allocation (validation and probe batches).
+func (t *Trainer) PrepareInto(dsts []graph.VID, tl *metrics.Timeline, slot *pipeline.Slot) (*prep.Batch, error) {
 	var b *prep.Batch
 	var err error
 	if t.sched != nil {
-		b, err = t.sched.PrepareArena(dsts, tl, arena)
+		b, err = t.sched.PrepareSlot(dsts, tl, slot)
 	} else {
-		b, err = pipeline.SerialCfg(t.Dataset.Graph, t.Dataset.Features, t.Dataset.Labels,
-			t.Engine.Dev, dsts, t.samplerCfg,
-			prep.Config{Format: t.format, Pinned: t.pinned, Arena: arena, HostOnly: t.group != nil})
+		b, err = prep.Serial(t.sampler, t.Dataset.Features, t.Dataset.Labels,
+			t.Engine.Dev, dsts,
+			prep.Config{Format: t.format, Pinned: t.pinned, Arena: slot.TensorArena(),
+				Structs: slot.StructPool(), HostOnly: t.group != nil})
 	}
 	return b, err
 }
 
-// prepareTrainInto is PrepareInto for training batches: with a device group
-// it also attaches the data-parallel sub-batch plan, so the prefetch ring's
-// producer carves shards while the consumer computes. Validation and probe
-// batches go through PrepareInto and skip the partitioning work (the group
-// recomputes lazily if a training batch ever arrives without a plan).
-func (t *Trainer) prepareTrainInto(dsts []graph.VID, arena *tensor.Arena) (*prep.Batch, error) {
-	b, err := t.PrepareInto(dsts, nil, arena)
+// PrepareTrainInto is PrepareInto for training batches: with a device group
+// it also attaches the data-parallel sub-batch plan — rebuilt in place from
+// the slot's recycled plan — so the prefetch ring's producer carves shards
+// while the consumer computes. Validation and probe batches go through
+// PrepareInto and skip the partitioning work (the group recomputes lazily
+// if a training batch ever arrives without a plan).
+func (t *Trainer) PrepareTrainInto(dsts []graph.VID, slot *pipeline.Slot) (*prep.Batch, error) {
+	b, err := t.PrepareInto(dsts, nil, slot)
 	if err == nil && t.group != nil && b.Labels != nil {
-		b.SubBatches, err = multigpu.PartitionBatch(b, t.group.NumShards())
+		old, _ := slot.StructPool().TakePlan().(*multigpu.BatchPlan)
+		b.SubBatches, err = multigpu.PartitionBatchReuse(b, t.group.NumShards(), old)
 		if err != nil {
 			b.Release()
 			return nil, err
@@ -300,8 +313,11 @@ func (t *Trainer) NewRingN(n int, next func(i int) []graph.VID) *pipeline.Ring {
 			depth = 2
 		}
 	}
-	return pipeline.NewRingFunc(depth, n, next, func(d []graph.VID, a *tensor.Arena) (*prep.Batch, error) {
-		return t.prepareTrainInto(d, a)
+	if t.slots == nil {
+		t.slots = pipeline.NewSlotRing(depth + 2)
+	}
+	return pipeline.NewRingShared(depth, n, t.slots, next, func(d []graph.VID, s *pipeline.Slot) (*prep.Batch, error) {
+		return t.PrepareTrainInto(d, s)
 	})
 }
 

@@ -37,6 +37,13 @@ type Config struct {
 	PCIeBytesPerSec   float64
 	PageableOverhead  float64
 	TransferLatencyNs float64 // fixed per-transfer setup cost
+
+	// Interconnect selects the device-to-device fabric a multi-device group
+	// runs its gradient all-reduce over (see interconnect.go). The zero
+	// value is a flat PCIe ring whose concurrent scatter pays no
+	// contention; DefaultConfig installs DefaultInterconnect (PCIe ring,
+	// half the scatter rate lost under a draining all-reduce).
+	Interconnect InterconnectConfig
 }
 
 // DefaultConfig returns the RTX 3090-like device the paper evaluates on.
@@ -54,6 +61,7 @@ func DefaultConfig() Config {
 		PCIeBytesPerSec:   12e9, // ~PCIe 4.0 x16 effective
 		PageableOverhead:  2.2,  // staging copy + driver sync
 		TransferLatencyNs: 8000,
+		Interconnect:      DefaultInterconnect(),
 	}
 }
 

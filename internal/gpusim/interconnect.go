@@ -1,0 +1,154 @@
+package gpusim
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Topology selects the device-to-device interconnect model a multi-device
+// group's gradient all-reduce runs over.
+type Topology int
+
+const (
+	// TopologyPCIeRing is the default: a flat ring over each device's PCIe
+	// link (peer traffic crosses the host root complex). Collective steps
+	// serialize hop by hop and contend with concurrent host→device traffic
+	// on the same fabric.
+	TopologyPCIeRing Topology = iota
+	// TopologyNVLink is an NVLink-style switched fabric: much higher
+	// per-link bandwidth, the ring's per-step latencies pipeline through
+	// the switch, peer DMA skips the pageable staging penalty, and —
+	// decisive for overlap — the collective leaves the PCIe links free, so
+	// a concurrent input scatter proceeds at full rate.
+	TopologyNVLink
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case TopologyPCIeRing:
+		return "pcie-ring"
+	case TopologyNVLink:
+		return "nvlink"
+	}
+	return "topology?"
+}
+
+// InterconnectConfig describes the interconnect of a device group.
+type InterconnectConfig struct {
+	Topology Topology
+	// LinkBytesPerSec is the per-direction device-to-device bandwidth; 0
+	// falls back to the device's PCIe bandwidth (the flat-ring default).
+	LinkBytesPerSec float64
+	// LinkLatencyNs is the fixed setup cost of one collective step; 0 falls
+	// back to the device's TransferLatencyNs.
+	LinkLatencyNs float64
+	// OverlapContention is the fraction of host→device scatter rate lost
+	// while a collective drains on a shared fabric: 0 means the scatter
+	// proceeds at full speed during the previous step's all-reduce
+	// (separate fabrics, NVLink), 1 means no overlap at all (fully shared
+	// link). The DeviceGroup uses it to model the overlapped schedule.
+	OverlapContention float64
+}
+
+// DefaultInterconnect returns the flat PCIe-ring interconnect: link
+// parameters inherited from the device's PCIe model, and half of the
+// scatter rate lost while an all-reduce shares the fabric.
+func DefaultInterconnect() InterconnectConfig {
+	return InterconnectConfig{Topology: TopologyPCIeRing, OverlapContention: 0.5}
+}
+
+// NVLinkInterconnect returns an NVLink-style option (RTX 3090 NVLink
+// bridge class, ~4x the modeled PCIe bandwidth): the collective runs on
+// its own fabric, so a concurrent scatter pays no contention.
+func NVLinkInterconnect() InterconnectConfig {
+	return InterconnectConfig{
+		Topology:          TopologyNVLink,
+		LinkBytesPerSec:   48e9,
+		LinkLatencyNs:     1300,
+		OverlapContention: 0,
+	}
+}
+
+// Interconnect is the accounting engine of a device group's collective
+// fabric — the peer-to-peer analogue of the per-device PCIe engine. It
+// models ring all-reduce time under the configured topology and accrues
+// the modeled traffic.
+type Interconnect struct {
+	cfg       InterconnectConfig
+	dev       Config
+	modeledNs atomic.Int64
+	bytes     atomic.Int64
+}
+
+// NewInterconnect builds the engine from a device config (whose
+// Interconnect field selects the topology and whose PCIe numbers are the
+// fallback link parameters).
+func NewInterconnect(dev Config) *Interconnect {
+	return &Interconnect{cfg: dev.Interconnect, dev: dev}
+}
+
+// Config returns the interconnect configuration.
+func (ic *Interconnect) Config() InterconnectConfig { return ic.cfg }
+
+// linkParams resolves the effective per-step bandwidth and latency.
+func (ic *Interconnect) linkParams() (bw, latNs float64) {
+	bw = ic.cfg.LinkBytesPerSec
+	if bw <= 0 {
+		bw = ic.dev.PCIeBytesPerSec
+	}
+	latNs = ic.cfg.LinkLatencyNs
+	if latNs <= 0 {
+		latNs = ic.dev.TransferLatencyNs
+	}
+	return bw, latNs
+}
+
+// AllReduce accounts a ring all-reduce of `bytes` gradient bytes across n
+// devices and returns the modeled per-device time. Every device moves
+// 2·(n−1) chunks of bytes/n (reduce-scatter + all-gather). On the PCIe
+// ring each step pays the full per-transfer latency (and the pageable
+// staging penalty when pinned is false) exactly as the per-device engine
+// would; on NVLink the steps pipeline through the switch, so only the two
+// phase latencies are exposed and peer DMA never pays the pageable factor.
+func (ic *Interconnect) AllReduce(bytes int64, n int, pinned bool) time.Duration {
+	if n <= 1 || bytes <= 0 {
+		return 0
+	}
+	bw, latNs := ic.linkParams()
+	steps := 2 * (n - 1)
+	chunk := float64(bytes) / float64(n)
+	var ns float64
+	switch ic.cfg.Topology {
+	case TopologyNVLink:
+		ns = 2*latNs + float64(steps)*chunk/bw*1e9
+	default:
+		per := latNs + chunk/bw*1e9
+		if !pinned {
+			per *= ic.dev.PageableOverhead
+		}
+		ns = float64(steps) * per
+	}
+	d := time.Duration(ns)
+	ic.modeledNs.Add(int64(d))
+	ic.bytes.Add(int64(steps) * bytes) // total fabric traffic: n · 2(n−1) · bytes/n
+	return d
+}
+
+// OverlapContention returns the configured scatter-rate loss factor.
+func (ic *Interconnect) OverlapContention() float64 {
+	c := ic.cfg.OverlapContention
+	if c < 0 {
+		c = 0
+	}
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// ModeledTime returns the cumulative modeled collective time.
+func (ic *Interconnect) ModeledTime() time.Duration { return time.Duration(ic.modeledNs.Load()) }
+
+// BytesMoved returns the cumulative fabric traffic.
+func (ic *Interconnect) BytesMoved() int64 { return ic.bytes.Load() }

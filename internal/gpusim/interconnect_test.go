@@ -1,0 +1,56 @@
+package gpusim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestInterconnectAllReduceRing checks the PCIe-ring collective model
+// against the closed form: 2·(n−1) steps of bytes/n, each paying the
+// per-transfer latency (and the pageable factor when unpinned).
+func TestInterconnectAllReduceRing(t *testing.T) {
+	cfg := DefaultConfig()
+	ic := NewInterconnect(cfg)
+	if d := ic.AllReduce(1<<20, 1, true); d != 0 {
+		t.Fatalf("1-device all-reduce costs %v, want 0", d)
+	}
+	const bytes, n = int64(1 << 20), 4
+	got := ic.AllReduce(bytes, n, true)
+	per := cfg.TransferLatencyNs + float64(bytes)/float64(n)/cfg.PCIeBytesPerSec*1e9
+	want := time.Duration(float64(2*(n-1)) * per)
+	if got != want {
+		t.Errorf("pinned ring all-reduce %v, want %v", got, want)
+	}
+	unpinned := ic.AllReduce(bytes, n, false)
+	if unpinned <= got {
+		t.Errorf("pageable all-reduce %v should exceed pinned %v", unpinned, got)
+	}
+	if moved := ic.BytesMoved(); moved != 2*2*(n-1)*bytes {
+		t.Errorf("fabric traffic %d, want %d (two collectives of 2(n-1)·bytes)", moved, 2*2*(n-1)*bytes)
+	}
+}
+
+// TestInterconnectNVLink: the switched fabric is strictly faster than the
+// PCIe ring (higher links, pipelined step latencies), ignores the pageable
+// penalty (peer DMA), and reports zero scatter contention.
+func TestInterconnectNVLink(t *testing.T) {
+	cfg := DefaultConfig()
+	ring := NewInterconnect(cfg)
+	nvCfg := cfg
+	nvCfg.Interconnect = NVLinkInterconnect()
+	nv := NewInterconnect(nvCfg)
+
+	const bytes, n = int64(4 << 20), 8
+	if rt, nt := ring.AllReduce(bytes, n, true), nv.AllReduce(bytes, n, true); nt >= rt {
+		t.Errorf("NVLink all-reduce %v should beat the PCIe ring's %v", nt, rt)
+	}
+	if p, u := nv.AllReduce(bytes, n, true), nv.AllReduce(bytes, n, false); p != u {
+		t.Errorf("peer DMA must not pay the pageable factor (pinned %v vs pageable %v)", p, u)
+	}
+	if c := nv.OverlapContention(); c != 0 {
+		t.Errorf("NVLink scatter contention %v, want 0", c)
+	}
+	if c := ring.OverlapContention(); c <= 0 || c >= 1 {
+		t.Errorf("PCIe-ring scatter contention %v, want within (0,1)", c)
+	}
+}

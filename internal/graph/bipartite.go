@@ -107,11 +107,32 @@ func (g *BCSC) Validate() error {
 	return nil
 }
 
+// GrowVIDs returns s resized to length n, reusing its capacity when it
+// suffices. The contents beyond what the caller writes are undefined — this
+// is the capacity-reuse primitive of the producer structure pool, where
+// every slice is fully (re)written before being read. VID is an alias of
+// int32, so the same function serves pointer/label arrays ([]int32).
+func GrowVIDs(s []VID, n int) []VID {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]VID, n)
+}
+
 // BCOOToBCSR translates the edge list into the dst-indexed format via a
 // stable counting sort, reporting the translation work (Fig 5c top). Large
 // translations run chunk-parallel on the shared worker pool with pooled
 // scratch; the output is bitwise identical either way.
 func BCOOToBCSR(g *BCOO) (*BCSR, TranslationStats) {
+	out := &BCSR{}
+	stats := BCOOToBCSRInto(g, out)
+	return out, stats
+}
+
+// BCOOToBCSRInto is BCOOToBCSR writing into out, reusing out's Ptr/Srcs
+// capacity — the destination-passing form the slot structure pool recycles
+// across batches. The result is bitwise identical to BCOOToBCSR.
+func BCOOToBCSRInto(g *BCOO, out *BCSR) TranslationStats {
 	m := g.NumEdges()
 	stats := TranslationStats{
 		EdgesSorted:     m,
@@ -119,9 +140,12 @@ func BCOOToBCSR(g *BCOO) (*BCSR, TranslationStats) {
 		BufferBytes:     int64(m)*8 + int64(g.NumDst)*4,
 		ComparisonsUsed: sortCost(m),
 	}
-	out := &BCSR{NumDst: g.NumDst, NumSrc: g.NumSrc, Ptr: make([]int32, g.NumDst+1), Srcs: make([]VID, m)}
+	out.NumDst, out.NumSrc = g.NumDst, g.NumSrc
+	out.Ptr = GrowVIDs(out.Ptr, g.NumDst+1)
+	clear(out.Ptr) // countingSortByKey accumulates into a zeroed histogram
+	out.Srcs = GrowVIDs(out.Srcs, m)
 	countingSortByKey(g.Dst, g.Src, out.Srcs, g.NumDst, out.Ptr)
-	return out, stats
+	return stats
 }
 
 // BCOOToBCSC translates the edge list into the src-indexed BWP layout.
@@ -140,8 +164,17 @@ func BCOOToBCSC(g *BCOO) (*BCSC, TranslationStats) {
 
 // BCSRToBCOO expands back to an edge list in dst-major order.
 func BCSRToBCOO(g *BCSR) *BCOO {
+	out := &BCOO{}
+	BCSRToBCOOInto(g, out)
+	return out
+}
+
+// BCSRToBCOOInto is BCSRToBCOO writing into out, reusing its capacity.
+func BCSRToBCOOInto(g *BCSR, out *BCOO) {
 	m := g.NumEdges()
-	out := &BCOO{NumDst: g.NumDst, NumSrc: g.NumSrc, Src: make([]VID, m), Dst: make([]VID, m)}
+	out.NumDst, out.NumSrc = g.NumDst, g.NumSrc
+	out.Src = GrowVIDs(out.Src, m)
+	out.Dst = GrowVIDs(out.Dst, m)
 	e := 0
 	for d := 0; d < g.NumDst; d++ {
 		for _, s := range g.Neighbors(VID(d)) {
@@ -150,7 +183,6 @@ func BCSRToBCOO(g *BCSR) *BCOO {
 			e++
 		}
 	}
-	return out
 }
 
 // BCSRToBCSC converts the FWP layout to the BWP layout directly, without
@@ -159,8 +191,19 @@ func BCSRToBCOO(g *BCSR) *BCOO {
 // scratch so the conversion reuses the same (possibly parallel) stable
 // counting sort as the COO translations.
 func BCSRToBCSC(g *BCSR) *BCSC {
+	out := &BCSC{}
+	BCSRToBCSCInto(g, out)
+	return out
+}
+
+// BCSRToBCSCInto is BCSRToBCSC writing into out, reusing its capacity; the
+// result is bitwise identical to BCSRToBCSC.
+func BCSRToBCSCInto(g *BCSR, out *BCSC) {
 	m := g.NumEdges()
-	out := &BCSC{NumDst: g.NumDst, NumSrc: g.NumSrc, Ptr: make([]int32, g.NumSrc+1), Dsts: make([]VID, m)}
+	out.NumDst, out.NumSrc = g.NumDst, g.NumSrc
+	out.Ptr = GrowVIDs(out.Ptr, g.NumSrc+1)
+	clear(out.Ptr)
+	out.Dsts = GrowVIDs(out.Dsts, m)
 	valp := geti32Dirty(m) // every entry is written below
 	vals := *valp
 	for d := 0; d < g.NumDst; d++ {
@@ -171,7 +214,6 @@ func BCSRToBCSC(g *BCSR) *BCSC {
 	}
 	countingSortByKey(g.Srcs, vals, out.Dsts, g.NumSrc, out.Ptr)
 	puti32(valp)
-	return out
 }
 
 // Bytes returns the device memory the structure occupies (index arrays).

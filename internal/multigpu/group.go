@@ -45,22 +45,86 @@ type SubBatch struct {
 	// HostBytes is the shard's host→device payload (graphs + embeddings +
 	// labels), the input to the PCIe scatter model.
 	HostBytes int64
+
+	// Retained structure storage for slot reuse (PartitionBatchReuse):
+	// locals[li] is layer li's localized CSR (aliased by Layers[li].CSR when
+	// the parent format ships CSR); srcs[li] is its local→global src map
+	// (srcs[0] doubles as XRows). Every retained buffer is fully rewritten
+	// per batch, so reuse is shape-derived only.
+	locals []*graph.BCSR
+	cscs   []*graph.BCSC
+	coos   []*graph.BCOO
+	srcs   [][]graph.VID
 }
 
 // BatchPlan is the shape-fixed decomposition of one prepared batch into
 // gradient shards. It depends only on the batch and the shard count — never
 // on the device count — and is attached to prep.Batch by the prefetch-ring
-// producer so partitioning overlaps the previous batch's compute.
+// producer so partitioning overlaps the previous batch's compute. A plan
+// recycled through a ring slot (prep.Recycler) is rebuilt in place by
+// PartitionBatchReuse, retaining all of its structure storage.
 type BatchPlan struct {
 	Shards    int
 	Subs      []SubBatch
 	Imbalance float64
+
+	// Retained assignment scratch (LPT order, per-shard loads), the
+	// host-side CSR index of COO-format parents, and the per-layer
+	// partitioning-CSR view.
+	order  planOrder
+	vo     vidOrder
+	loads  []int
+	csrIdx []*graph.BCSR
+	csrs   []*graph.BCSR
 }
+
+// Recycle implements prep.Recycler: a released batch's plan drops nothing —
+// its storage is plan-owned (no references into the batch survive) and is
+// fully rewritten by the slot's next PartitionBatchReuse.
+func (p *BatchPlan) Recycle() {}
+
+// planOrder sorts (dst, degree) pairs by (degree desc, id asc) through
+// sort.Sort on a retained receiver — sort.Slice would allocate its swapper
+// and less-closure on every batch.
+type planOrder struct {
+	d   []graph.VID
+	deg []int
+}
+
+func (o *planOrder) Len() int { return len(o.d) }
+func (o *planOrder) Less(i, j int) bool {
+	if o.deg[i] != o.deg[j] {
+		return o.deg[i] > o.deg[j]
+	}
+	return o.d[i] < o.d[j]
+}
+func (o *planOrder) Swap(i, j int) {
+	o.d[i], o.d[j] = o.d[j], o.d[i]
+	o.deg[i], o.deg[j] = o.deg[j], o.deg[i]
+}
+
+// vidOrder sorts a []graph.VID ascending via sort.Sort on a retained
+// receiver (allocation-free).
+type vidOrder struct{ s []graph.VID }
+
+func (o *vidOrder) Len() int           { return len(o.s) }
+func (o *vidOrder) Less(i, j int) bool { return o.s[i] < o.s[j] }
+func (o *vidOrder) Swap(i, j int)      { o.s[i], o.s[j] = o.s[j], o.s[i] }
 
 // PartitionBatch carves a prepared batch into `shards` localized sub-batches
 // by balancing final-layer edges (AssignByEdges) and back-chaining each
 // shard's induced subgraph through every GNN layer.
 func PartitionBatch(b *prep.Batch, shards int) (*BatchPlan, error) {
+	return PartitionBatchReuse(b, shards, nil)
+}
+
+// PartitionBatchReuse is PartitionBatch rebuilding a recycled plan in place
+// (nil allocates a fresh one): the per-shard dst lists, localized layer
+// chains, src maps and label buffers all reuse the retained capacity of the
+// slot's previous batch. The partition — like the fresh one — is a pure
+// function of (batch shape, shards): reuse cannot change a single assigned
+// dst, edge or byte (guarded by TestPartitionBatchReuseBitwise).
+func PartitionBatchReuse(b *prep.Batch, shards int, plan *BatchPlan) (*BatchPlan, error) {
 	L := len(b.Layers)
 	if L == 0 {
 		return nil, errors.New("multigpu: batch has no layer graphs")
@@ -68,7 +132,23 @@ func PartitionBatch(b *prep.Batch, shards int) (*BatchPlan, error) {
 	if len(b.Labels) == 0 {
 		return nil, errors.New("multigpu: batch has no labels (training plan needs them)")
 	}
-	csrs := make([]*graph.BCSR, L)
+	if shards < 1 {
+		shards = 1
+	}
+	if plan == nil {
+		plan = &BatchPlan{}
+	}
+	if len(plan.Subs) != shards {
+		plan.Subs = make([]SubBatch, shards)
+	}
+	plan.Shards = shards
+	for len(plan.csrIdx) < L {
+		plan.csrIdx = append(plan.csrIdx, nil)
+	}
+	if cap(plan.csrs) < L {
+		plan.csrs = make([]*graph.BCSR, L)
+	}
+	csrs := plan.csrs[:L]
 	for li := 0; li < L; li++ {
 		switch {
 		case b.Layers[li].CSR != nil:
@@ -76,30 +156,41 @@ func PartitionBatch(b *prep.Batch, shards int) (*BatchPlan, error) {
 		case b.Layers[li].COO != nil:
 			// COO-format batches (Graph-approach) get a host-side CSR index
 			// for partitioning only; the shard still ships COO and the
-			// device pays its usual kernel-time translation.
-			csrs[li], _ = graph.BCOOToBCSR(b.Layers[li].COO)
+			// device pays its usual kernel-time translation. The index is
+			// plan-retained and rebuilt in place.
+			if plan.csrIdx[li] == nil {
+				plan.csrIdx[li] = &graph.BCSR{}
+			}
+			graph.BCOOToBCSRInto(b.Layers[li].COO, plan.csrIdx[li])
+			csrs[li] = plan.csrIdx[li]
 		default:
 			return nil, fmt.Errorf("multigpu: layer %d has no COO/CSR storage", li)
 		}
 	}
-	assign, imbalance := AssignByEdges(csrs[L-1], shards)
-	plan := &BatchPlan{Shards: shards, Subs: make([]SubBatch, len(assign)), Imbalance: imbalance}
-	for s := range assign {
+	plan.assignByEdges(csrs[L-1], shards)
+	for s := range plan.Subs {
 		sub := &plan.Subs[s]
 		sub.Shard = s
-		sub.Dsts = assign[s]
-		sub.Layers = make([]prep.LayerData, L)
-		need := assign[s]
+		if cap(sub.Layers) < L {
+			sub.Layers = make([]prep.LayerData, L)
+		}
+		sub.Layers = sub.Layers[:L]
+		for len(sub.locals) < L {
+			sub.locals = append(sub.locals, &graph.BCSR{})
+			sub.srcs = append(sub.srcs, nil)
+		}
+		need := sub.Dsts
 		for li := L - 1; li >= 0; li-- {
-			local, srcs := localize(csrs[li], need)
+			local := sub.locals[li]
+			sub.srcs[li] = localizeInto(csrs[li], need, local, sub.srcs[li][:0])
 			if li == L-1 {
 				sub.Edges = local.NumEdges()
 			}
-			sub.Layers[li] = formatLike(b.Layers[li], local)
-			need = srcs
+			sub.Layers[li] = sub.formatLike(b.Layers[li], li)
+			need = sub.srcs[li]
 		}
 		sub.XRows = need
-		sub.Labels = make([]int32, len(sub.Dsts))
+		sub.Labels = graph.GrowVIDs(sub.Labels, len(sub.Dsts))
 		for i, d := range sub.Dsts {
 			sub.Labels[i] = b.Labels[d]
 		}
@@ -109,24 +200,78 @@ func PartitionBatch(b *prep.Batch, shards int) (*BatchPlan, error) {
 	return plan, nil
 }
 
-// localize builds the induced subgraph of csr on the given dsts with
-// compact local numbering: local dst i is dsts[i]; local srcs are numbered
-// in first-touch order (a pure function of the graph shape, so shard
-// contents never depend on device count or scheduling). It returns the
-// local CSR and the global ids backing each local src — which become the
-// next-lower layer's dst list, chaining the layers together.
-func localize(csr *graph.BCSR, dsts []graph.VID) (*graph.BCSR, []graph.VID) {
+// assignByEdges is the one LPT implementation (the exported AssignByEdges
+// wraps it): dsts balanced over final-layer degrees into the plan's
+// retained Subs[].Dsts, ties by lowest id, each group's dst list ascending.
+func (p *BatchPlan) assignByEdges(csr *graph.BCSR, n int) {
+	nd := csr.NumDst
+	p.order.d = graph.GrowVIDs(p.order.d, nd)
+	if cap(p.order.deg) < nd {
+		p.order.deg = make([]int, nd)
+	}
+	p.order.deg = p.order.deg[:nd]
+	for d := 0; d < nd; d++ {
+		p.order.d[d] = graph.VID(d)
+		p.order.deg[d] = csr.Degree(graph.VID(d))
+	}
+	sort.Sort(&p.order)
+	if cap(p.loads) < n {
+		p.loads = make([]int, n)
+	}
+	p.loads = p.loads[:n]
+	for i := range p.loads {
+		p.loads[i] = 0
+	}
+	for s := range p.Subs {
+		p.Subs[s].Dsts = p.Subs[s].Dsts[:0]
+	}
+	for i := 0; i < nd; i++ {
+		min := 0
+		for g := 1; g < n; g++ {
+			if p.loads[g] < p.loads[min] {
+				min = g
+			}
+		}
+		p.Subs[min].Dsts = append(p.Subs[min].Dsts, p.order.d[i])
+		p.loads[min] += p.order.deg[i]
+	}
+	maxEdges, total := 0, 0
+	for g := 0; g < n; g++ {
+		p.vo.s = p.Subs[g].Dsts
+		sort.Sort(&p.vo)
+		total += p.loads[g]
+		if p.loads[g] > maxEdges {
+			maxEdges = p.loads[g]
+		}
+	}
+	p.vo.s = nil
+	p.Imbalance = 0
+	if total > 0 {
+		p.Imbalance = float64(maxEdges) / (float64(total) / float64(n))
+	}
+}
+
+// localizeInto builds the induced subgraph of csr on the given dsts with
+// compact local numbering into the retained local CSR: local dst i is
+// dsts[i]; local srcs are numbered in first-touch order (a pure function of
+// the graph shape, so shard contents never depend on device count or
+// scheduling). It appends the global ids backing each local src onto srcs
+// (passed with length 0) and returns it — which becomes the next-lower
+// layer's dst list, chaining the layers together.
+func localizeInto(csr *graph.BCSR, dsts []graph.VID, local *graph.BCSR, srcs []graph.VID) []graph.VID {
 	m := 0
 	for _, d := range dsts {
 		m += csr.Degree(d)
 	}
-	local := &graph.BCSR{NumDst: len(dsts), Ptr: make([]int32, len(dsts)+1), Srcs: make([]graph.VID, m)}
+	local.NumDst = len(dsts)
+	local.Ptr = graph.GrowVIDs(local.Ptr, len(dsts)+1)
+	local.Ptr[0] = 0
+	local.Srcs = graph.GrowVIDs(local.Srcs, m)
 	mapp := graph.GetVIDs(csr.NumSrc)
 	remap := *mapp
 	for i := range remap {
 		remap[i] = -1
 	}
-	var srcs []graph.VID
 	e := 0
 	for i, d := range dsts {
 		for _, sv := range csr.Neighbors(d) {
@@ -143,22 +288,39 @@ func localize(csr *graph.BCSR, dsts []graph.VID) (*graph.BCSR, []graph.VID) {
 	}
 	local.NumSrc = len(srcs)
 	graph.PutVIDs(mapp)
-	return local, srcs
+	return srcs
 }
 
-// formatLike emits the localized layer in the parent batch's storage
+// formatLike emits layer li's localized graph in the parent batch's storage
 // format(s), so every framework's kernels see exactly the format discipline
 // they see single-device (the Graph-approach keeps translating on device).
-func formatLike(parent prep.LayerData, local *graph.BCSR) prep.LayerData {
+// Derived CSC/COO structures are retained on the sub-batch and rebuilt in
+// place.
+func (sub *SubBatch) formatLike(parent prep.LayerData, li int) prep.LayerData {
+	local := sub.locals[li]
 	var out prep.LayerData
 	if parent.CSR != nil {
 		out.CSR = local
 	}
 	if parent.CSC != nil {
-		out.CSC = graph.BCSRToBCSC(local)
+		for len(sub.cscs) <= li {
+			sub.cscs = append(sub.cscs, nil)
+		}
+		if sub.cscs[li] == nil {
+			sub.cscs[li] = &graph.BCSC{}
+		}
+		graph.BCSRToBCSCInto(local, sub.cscs[li])
+		out.CSC = sub.cscs[li]
 	}
 	if parent.COO != nil {
-		out.COO = graph.BCSRToBCOO(local)
+		for len(sub.coos) <= li {
+			sub.coos = append(sub.coos, nil)
+		}
+		if sub.coos[li] == nil {
+			sub.coos[li] = &graph.BCOO{}
+		}
+		graph.BCSRToBCOOInto(local, sub.coos[li])
+		out.COO = sub.coos[li]
 	}
 	return out
 }
@@ -205,13 +367,29 @@ type GroupStats struct {
 	PeakDeviceFLOPs int64
 	// MaxDeviceCompute is the busiest device's modeled kernel time.
 	MaxDeviceCompute time.Duration
-	// CommBytes / CommTime are the modeled PCIe traffic of the step: the
-	// per-device sub-batch scatter plus the ring gradient all-reduce.
+	// CommBytes is the step's total modeled fabric traffic: the per-device
+	// sub-batch scatter plus the gradient all-reduce; CommTime is the
+	// serialized communication latency, ScatterTime + AllReduceTime.
 	CommBytes int64
 	CommTime  time.Duration
-	// StepTime is the modeled data-parallel step latency: the busiest
-	// device's compute followed by communication.
-	StepTime time.Duration
+	// ScatterTime is the slowest device's modeled host→device sub-batch
+	// transfer; AllReduceTime is the modeled gradient collective over the
+	// group's interconnect topology.
+	ScatterTime   time.Duration
+	AllReduceTime time.Duration
+	// StepTime is the modeled steady-state step latency under the
+	// overlapped schedule: the next batch's shard scatter starts while the
+	// previous step's all-reduce drains, so only the exposed remainder of
+	// the scatter serializes before compute. StepTimeSerial is the same
+	// step with no comm overlap (scatter + compute + all-reduce end to
+	// end), the schedule of PR 3.
+	StepTime       time.Duration
+	StepTimeSerial time.Duration
+	// OverlapEfficiency is the fraction of this step's scatter hidden under
+	// the previous step's all-reduce drain: 0 on the first batch (nothing
+	// to hide behind) or on a fully contended fabric, 1 when the scatter is
+	// entirely off the critical path.
+	OverlapEfficiency float64
 }
 
 // DeviceGroup is the data-parallel training engine: a persistent set of
@@ -229,6 +407,13 @@ type DeviceGroup struct {
 	devs   []*GroupDev
 	shards int
 	pinned bool
+
+	// ic models the gradient collective's fabric; pendingDrain is the
+	// previous step's all-reduce time, which the next batch's shard scatter
+	// overlaps (§ comm/compute overlap — the modeled analogue of issuing
+	// the scatter while the collective drains).
+	ic           *gpusim.Interconnect
+	pendingDrain time.Duration
 
 	// Cross-shard reduction state. grads[s] is written by exactly one
 	// device (shard s's owner); the fold reads them after the barrier.
@@ -287,7 +472,8 @@ func NewGroup(devices, shards int, cfg gpusim.Config, pinned bool,
 	if devices > shards {
 		return nil, fmt.Errorf("multigpu: %d devices exceed %d gradient shards", devices, shards)
 	}
-	g := &DeviceGroup{shards: shards, pinned: pinned, lossParts: make([]float64, shards)}
+	g := &DeviceGroup{shards: shards, pinned: pinned, lossParts: make([]float64, shards),
+		ic: gpusim.NewInterconnect(cfg)}
 	for i := 0; i < devices; i++ {
 		m, err := newModel()
 		if err != nil {
@@ -552,8 +738,10 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 
 	// All-reduce: fold per-shard partials in ascending shard order — the
 	// order is fixed by the plan, not by devices — and hand every replica
-	// the identical result. The ring all-reduce's modeled traffic is
-	// 2·(N−1) steps of size/N per device.
+	// the identical result. The collective's modeled cost (a ring of
+	// 2·(N−1) steps of size/N per device) is paid on the group's
+	// interconnect, whose topology decides both its latency and how much of
+	// the next batch's scatter can hide under it.
 	ref := g.devs[0].Model
 	var gradBytes int64
 	for li := range ref.Layers {
@@ -572,14 +760,7 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 		}
 		gradBytes += int64(len(fd.Data)+len(fb)) * 4
 	}
-	if n := len(g.devs); n > 1 {
-		chunk := gradBytes / int64(n)
-		for _, d := range g.devs {
-			for step := 0; step < 2*(n-1); step++ {
-				d.pcie.TransferBytes(chunk, g.pinned)
-			}
-		}
-	}
+	arTime := g.ic.AllReduce(gradBytes, len(g.devs), g.pinned)
 	var lossSum float64
 	for s := 0; s < g.shards; s++ {
 		lossSum += g.lossParts[s]
@@ -594,8 +775,9 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 		d.Model.Step(lr)
 	}
 
-	// Step statistics: compute scales with the busiest device; comm is the
-	// slowest link's modeled scatter + all-reduce time.
+	// Step statistics: compute scales with the busiest device; the scatter
+	// is the slowest device's modeled host→device time; the all-reduce
+	// rides the interconnect.
 	st := GroupStats{Devices: len(g.devs), Shards: g.shards, Imbalance: plan.Imbalance}
 	tm := gpusim.DefaultKernelTimeModel()
 	for i, d := range g.devs {
@@ -607,11 +789,32 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 			st.MaxDeviceCompute = est
 		}
 		st.CommBytes += d.pcie.BytesMoved() - g.commBytes0[i]
-		if ct := d.pcie.ModeledTime() - g.commNs0[i]; ct > st.CommTime {
-			st.CommTime = ct
+		if ct := d.pcie.ModeledTime() - g.commNs0[i]; ct > st.ScatterTime {
+			st.ScatterTime = ct
 		}
 	}
-	st.StepTime = st.MaxDeviceCompute + st.CommTime
+	if n := len(g.devs); n > 1 {
+		st.CommBytes += 2 * int64(n-1) * gradBytes
+	}
+	st.AllReduceTime = arTime
+	st.CommTime = st.ScatterTime + st.AllReduceTime
+	st.StepTimeSerial = st.MaxDeviceCompute + st.CommTime
+
+	// Overlapped schedule: this batch's shard scatter was issued while the
+	// previous step's all-reduce drained. During that drain window the
+	// scatter progresses at (1 − contention) of its full rate, so up to
+	// drain·(1−c) of scatter work leaves the critical path; the exposed
+	// remainder serializes before compute as usual.
+	hidden := time.Duration(float64(g.pendingDrain) * (1 - g.ic.OverlapContention()))
+	if hidden > st.ScatterTime {
+		hidden = st.ScatterTime
+	}
+	if st.ScatterTime > 0 {
+		st.OverlapEfficiency = float64(hidden) / float64(st.ScatterTime)
+	}
+	st.StepTime = (st.ScatterTime - hidden) + st.MaxDeviceCompute + st.AllReduceTime
+	g.pendingDrain = st.AllReduceTime
+
 	g.stats = st
 	g.plan, g.batch = nil, nil
 	return loss, nil

@@ -20,7 +20,6 @@
 package multigpu
 
 import (
-	"sort"
 	"sync"
 
 	"graphtensor/internal/gpusim"
@@ -44,46 +43,16 @@ func AssignByEdges(csr *graph.BCSR, n int) ([][]graph.VID, float64) {
 	if n < 1 {
 		n = 1
 	}
-	type dstDeg struct {
-		d   graph.VID
-		deg int
-	}
-	order := make([]dstDeg, csr.NumDst)
-	for d := 0; d < csr.NumDst; d++ {
-		order[d] = dstDeg{graph.VID(d), csr.Degree(graph.VID(d))}
-	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].deg != order[j].deg {
-			return order[i].deg > order[j].deg
-		}
-		return order[i].d < order[j].d
-	})
-
-	loads := make([]int, n)
+	// One LPT implementation serves both entry points: the slot-recycled
+	// plan path (BatchPlan.assignByEdges, group.go) is the single source of
+	// truth, and this allocating wrapper reads the assignment back out.
+	p := &BatchPlan{Subs: make([]SubBatch, n)}
+	p.assignByEdges(csr, n)
 	assign := make([][]graph.VID, n)
-	for _, dd := range order {
-		min := 0
-		for g := 1; g < n; g++ {
-			if loads[g] < loads[min] {
-				min = g
-			}
-		}
-		assign[min] = append(assign[min], dd.d)
-		loads[min] += dd.deg
+	for g := range assign {
+		assign[g] = p.Subs[g].Dsts
 	}
-	maxEdges, total := 0, 0
-	for g := 0; g < n; g++ {
-		sort.Slice(assign[g], func(i, j int) bool { return assign[g][i] < assign[g][j] })
-		total += loads[g]
-		if loads[g] > maxEdges {
-			maxEdges = loads[g]
-		}
-	}
-	imbalance := 0.0
-	if total > 0 {
-		imbalance = float64(maxEdges) / (float64(total) / float64(n))
-	}
-	return assign, imbalance
+	return assign, p.Imbalance
 }
 
 // Partition is one GPU's share of the dst vertices and its local subgraph.

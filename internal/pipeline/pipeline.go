@@ -66,13 +66,16 @@ func DefaultConfig() Config {
 	}
 }
 
-// Scheduler prepares training batches with pipelined preprocessing.
+// Scheduler prepares training batches with pipelined preprocessing. The
+// sampler is persistent (it owns the pooled per-hop worker scratch) and
+// safe for concurrent Prepare calls, each drawing its own result.
 type Scheduler struct {
 	cfg      Config
 	full     *graph.CSR
 	features *graph.EmbeddingTable
 	labels   []int32
 	dev      *gpusim.Device
+	sampler  *sampling.Sampler
 }
 
 // NewScheduler builds a scheduler over a dataset's full graph and features.
@@ -87,27 +90,44 @@ func NewScheduler(full *graph.CSR, features *graph.EmbeddingTable, labels []int3
 	if !cfg.RelaxContention {
 		cfg.Sampler.Mode = sampling.ModeShared
 	}
-	return &Scheduler{cfg: cfg, full: full, features: features, labels: labels, dev: dev}
+	return &Scheduler{cfg: cfg, full: full, features: features, labels: labels, dev: dev,
+		sampler: sampling.New(full, cfg.Sampler)}
 }
 
 // Prepare runs the pipelined preprocessing for one batch. The optional
 // timeline receives progress events (Fig 20); pass nil to skip recording.
 func (s *Scheduler) Prepare(batchDsts []graph.VID, tl *metrics.Timeline) (*prep.Batch, error) {
-	return s.PrepareArena(batchDsts, tl, nil)
+	return s.PrepareSlot(batchDsts, tl, nil)
 }
 
 // PrepareArena is Prepare with the batch's host embedding table drawn from
-// a batch-scoped arena (nil falls back to plain allocation). The prefetch
-// ring passes one arena per in-flight batch so steady-state preprocessing
-// recycles its buffers instead of reallocating them.
+// a batch-scoped arena (nil falls back to plain allocation).
 func (s *Scheduler) PrepareArena(batchDsts []graph.VID, tl *metrics.Timeline, arena *tensor.Arena) (*prep.Batch, error) {
+	return s.prepare(batchDsts, tl, arena, nil)
+}
+
+// PrepareSlot is Prepare drawing the batch's storage from a prefetch-ring
+// slot: the dense host buffers from the slot's arena, and the producer
+// structures (sampler result, per-layer graphs, labels) from its structure
+// pool — so steady-state preprocessing recycles everything it builds
+// instead of reallocating it. A nil slot falls back to plain allocation.
+func (s *Scheduler) PrepareSlot(batchDsts []graph.VID, tl *metrics.Timeline, slot *Slot) (*prep.Batch, error) {
+	return s.prepare(batchDsts, tl, slot.TensorArena(), slot.StructPool())
+}
+
+func (s *Scheduler) prepare(batchDsts []graph.VID, tl *metrics.Timeline,
+	arena *tensor.Arena, structs *prep.Structs) (*prep.Batch, error) {
 	bd := metrics.NewBreakdown()
 	L := s.cfg.Sampler.Layers
-	sampler := sampling.New(s.full, s.cfg.Sampler)
+	sampler := s.sampler
 
-	// Shared state between subtasks.
+	// Shared state between subtasks. The layer chain and its retained
+	// structure buffers are sized here, on the driving goroutine, before any
+	// R subtask spawns; afterwards each R subtask touches only its own
+	// layer's entry and retained buffer.
+	structs.EnsureLayers(L)
 	var (
-		layers   = make([]prep.LayerData, L)
+		layers   = structs.TakeLayerData(L)
 		chunksMu sync.Mutex
 		chunks   []embedChunk
 		errMu    sync.Mutex
@@ -128,7 +148,7 @@ func (s *Scheduler) PrepareArena(batchDsts []graph.VID, tl *metrics.Timeline, ar
 	}
 	allSampled := hopDone[L-1] // the T barrier (§V-B: wait for the last S)
 
-	run := sampler.Begin(batchDsts)
+	run := sampler.BeginReuse(batchDsts, structs.TakeSample())
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, s.cfg.Workers)
 
@@ -156,14 +176,16 @@ func (s *Scheduler) PrepareArena(batchDsts []graph.VID, tl *metrics.Timeline, ar
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				st := time.Now()
-				coo, err := prep.ReindexCOO(hop, res.Table)
+				// Hop t (0-based) is processed by GNN layer L-t (1-based),
+				// i.e. layers[L-1-t]; the layer's structures come from the
+				// slot's retained buffer for that index (concurrent R
+				// subtasks touch disjoint buffers).
+				ld, err := structs.LayerInto(L-1-t, hop, res.Table, s.cfg.Format)
 				if err != nil {
 					setErr(err)
 					return
 				}
-				// Hop t (0-based) is processed by GNN layer L-t (1-based),
-				// i.e. layers[L-1-t].
-				layers[L-1-t] = prep.BuildLayer(coo, s.cfg.Format)
+				layers[L-1-t] = ld
 				bd.Add("reindex", time.Since(st))
 				record("reindex", hop.NumSrc, -1)
 			}()
@@ -301,15 +323,11 @@ func (s *Scheduler) PrepareArena(batchDsts []graph.VID, tl *metrics.Timeline, ar
 	bd.Add("transfer", time.Since(st))
 	record("transfer", wantVertices, wantVertices)
 
-	batch := &prep.Batch{
-		Sample:        res,
-		Layers:        layers,
-		Embed:         embed,
-		Breakdown:     bd,
-		DeviceBuffers: bufs,
-	}
+	batch := structs.TakeBatch()
+	batch.Sample, batch.Layers, batch.Embed = res, layers, embed
+	batch.Breakdown, batch.DeviceBuffers = bd, bufs
 	if s.labels != nil {
-		batch.Labels = make([]int32, len(res.Batch))
+		batch.Labels = structs.TakeLabels(len(res.Batch))
 		for i, orig := range res.Batch {
 			batch.Labels[i] = s.labels[orig]
 		}

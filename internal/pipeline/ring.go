@@ -6,17 +6,18 @@ import (
 
 	"graphtensor/internal/graph"
 	"graphtensor/internal/prep"
-	"graphtensor/internal/tensor"
 )
 
 // Ring is the depth-N generalization of the one-batch-ahead prefetcher
 // (§V-B last paragraph): a producer goroutine runs the framework's
 // preprocessing up to depth batches ahead of the consumer, delivering
 // prepared batches strictly in submission order. Each in-flight batch owns
-// a tensor.Arena drawn from a fixed rotation of depth+2 arenas, so the
-// host-side embedding buffers of batch t are recycled into batch t+depth+2
-// instead of reallocated — an arena re-enters the rotation only after its
-// batch's Release, so no two in-flight batches ever alias storage.
+// a Slot — a tensor.Arena for its dense host buffers plus a prep.Structs
+// for its producer structures — drawn from a rotation of depth+2 slots, so
+// both the embedding buffers and the sampled/translated/localized graph
+// structures of batch t are recycled into batch t+depth+2 instead of
+// reallocated. A slot re-enters the rotation only after its batch's
+// Release, so no two in-flight batches ever alias storage.
 //
 // Lifecycle: NewRing starts the producer over the given dst lists; Next
 // returns batches in order; Stop cancels outstanding work, releases any
@@ -26,13 +27,13 @@ import (
 // synchronous prepare-on-Next (the discipline of the non-overlapping
 // baseline frameworks) with no producer goroutine.
 type Ring struct {
-	prepare func([]graph.VID, *tensor.Arena) (*prep.Batch, error)
+	prepare func([]graph.VID, *Slot) (*prep.Batch, error)
 	next    func(i int) []graph.VID
 	n       int
 	depth   int
 
 	out      chan ringItem
-	arenas   chan *tensor.Arena
+	slots    chan *Slot
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
@@ -55,7 +56,7 @@ var ErrRingDrained = errors.New("pipeline: prefetch ring drained")
 // NewRing builds a prefetch ring over the dst lists and starts preparing up
 // to depth batches ahead. depth 0 disables the background producer.
 func NewRing(depth int, lists [][]graph.VID,
-	prepare func([]graph.VID, *tensor.Arena) (*prep.Batch, error)) *Ring {
+	prepare func([]graph.VID, *Slot) (*prep.Batch, error)) *Ring {
 	return NewRingFunc(depth, len(lists),
 		func(i int) []graph.VID { return lists[i] }, prepare)
 }
@@ -67,7 +68,22 @@ func NewRing(depth int, lists [][]graph.VID,
 // goroutine (or the caller's, at depth 0); it must tolerate not being
 // called for the tail of the schedule when the ring is stopped early.
 func NewRingFunc(depth, n int, next func(i int) []graph.VID,
-	prepare func([]graph.VID, *tensor.Arena) (*prep.Batch, error)) *Ring {
+	prepare func([]graph.VID, *Slot) (*prep.Batch, error)) *Ring {
+	if depth < 0 {
+		depth = 0
+	}
+	return NewRingShared(depth, n, NewSlotRing(depth+2), next, prepare)
+}
+
+// NewRingShared is NewRingFunc drawing its rotation from a caller-owned
+// slot free-list (see NewSlotRing) instead of fresh slots. Successive rings
+// built over the same channel reuse the same slot storage — a trainer's
+// steady-state epochs allocate no new producer structures across rings. A
+// slot still lent to an outstanding batch of a previous (stopped) ring
+// simply re-enters the channel on that batch's Release; until then the new
+// ring runs with the remaining slots.
+func NewRingShared(depth, n int, slots chan *Slot, next func(i int) []graph.VID,
+	prepare func([]graph.VID, *Slot) (*prep.Batch, error)) *Ring {
 	if depth < 0 {
 		depth = 0
 	}
@@ -76,12 +92,9 @@ func NewRingFunc(depth, n int, next func(i int) []graph.VID,
 		next:    next,
 		n:       n,
 		depth:   depth,
-		arenas:  make(chan *tensor.Arena, depth+2),
+		slots:   slots,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
-	}
-	for i := 0; i < depth+2; i++ {
-		r.arenas <- tensor.NewArena()
 	}
 	if depth == 0 {
 		close(r.done)
@@ -92,16 +105,16 @@ func NewRingFunc(depth, n int, next func(i int) []graph.VID,
 	return r
 }
 
-// produce prepares every submitted batch in order, gated by arena
+// produce prepares every submitted batch in order, gated by slot
 // availability (at most depth+2 batches can hold storage at once, which is
 // the ring's backpressure) and by the out channel's depth.
 func (r *Ring) produce() {
 	defer close(r.done)
 	defer close(r.out)
 	for i := 0; i < r.n; i++ {
-		var a *tensor.Arena
+		var s *Slot
 		select {
-		case a = <-r.arenas:
+		case s = <-r.slots:
 		case <-r.stop:
 			return
 		}
@@ -109,11 +122,11 @@ func (r *Ring) produce() {
 		// re-check stop so Stop never waits behind another full prepare.
 		select {
 		case <-r.stop:
-			r.arenas <- a
+			r.slots <- s
 			return
 		default:
 		}
-		b, err := r.prepareInto(r.next(i), a)
+		b, err := r.prepareInto(r.next(i), s)
 		if err != nil {
 			select {
 			case r.out <- ringItem{err: err}:
@@ -130,19 +143,20 @@ func (r *Ring) produce() {
 	}
 }
 
-// prepareInto runs prepare with the arena and hooks the batch's release to
-// recycle it back into the rotation. On error the arena re-enters the
-// rotation immediately.
-func (r *Ring) prepareInto(dsts []graph.VID, a *tensor.Arena) (*prep.Batch, error) {
-	b, err := r.prepare(dsts, a)
+// prepareInto runs prepare with the slot and hooks the batch's release to
+// recycle it back into the rotation. On error the slot re-enters the
+// rotation immediately (arena released; whatever structures the failed
+// prepare consumed are simply garbage collected).
+func (r *Ring) prepareInto(dsts []graph.VID, s *Slot) (*prep.Batch, error) {
+	b, err := r.prepare(dsts, s)
 	if err != nil {
-		a.Release()
-		r.arenas <- a
+		s.Recycle(nil)
+		r.slots <- s
 		return nil, err
 	}
 	b.OnRelease = func() {
-		a.Release()
-		r.arenas <- a
+		s.Recycle(b)
+		r.slots <- s
 	}
 	return b, nil
 }
@@ -154,26 +168,26 @@ func (r *Ring) Next() (*prep.Batch, error) {
 		if r.pos >= r.n {
 			return nil, ErrRingDrained
 		}
-		// Guard the arena receive with stop: a caller holding every
+		// Guard the slot receive with stop: a caller holding every
 		// outstanding batch un-Released would otherwise park here forever
 		// with no escape. The stop channel is the only stop state, so Stop
 		// may be called from any goroutine (e.g. a watchdog) without racing
 		// this path.
-		var a *tensor.Arena
+		var s *Slot
 		select {
-		case a = <-r.arenas:
+		case s = <-r.slots:
 		case <-r.stop:
 			return nil, ErrRingDrained
 		}
 		select {
 		case <-r.stop:
-			r.arenas <- a
+			r.slots <- s
 			return nil, ErrRingDrained
 		default:
 		}
 		dsts := r.next(r.pos)
 		r.pos++
-		return r.prepareInto(dsts, a)
+		return r.prepareInto(dsts, s)
 	}
 	it, ok := <-r.out
 	if !ok {

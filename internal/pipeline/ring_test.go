@@ -8,18 +8,19 @@ import (
 	"graphtensor/internal/graph"
 	"graphtensor/internal/prep"
 	"graphtensor/internal/sampling"
-	"graphtensor/internal/tensor"
 )
 
 // ringFixture returns a prepare function over the test dataset plus the dst
-// lists for n batches.
-func ringFixture(t *testing.T, n, batch int) (func([]graph.VID, *tensor.Arena) (*prep.Batch, error), [][]graph.VID) {
+// lists for n batches. The prepare draws from the slot's arena AND its
+// structure pool, so ring tests exercise the full producer-recycling path.
+func ringFixture(t *testing.T, n, batch int) (func([]graph.VID, *Slot) (*prep.Batch, error), [][]graph.VID) {
 	t.Helper()
 	ds := testDataset(t)
 	dev := testDevice()
 	samplerCfg := sampling.DefaultConfig()
-	prepare := func(d []graph.VID, a *tensor.Arena) (*prep.Batch, error) {
-		return SerialArena(ds.Graph, ds.Features, ds.Labels, dev, d, samplerCfg, prep.FormatCSR, false, a)
+	prepare := func(d []graph.VID, s *Slot) (*prep.Batch, error) {
+		return SerialCfg(ds.Graph, ds.Features, ds.Labels, dev, d, samplerCfg,
+			prep.Config{Format: prep.FormatCSR, Arena: s.TensorArena(), Structs: s.StructPool()})
 	}
 	lists := make([][]graph.VID, n)
 	for i := range lists {
@@ -122,7 +123,7 @@ func TestRingStopMidStreamDrains(t *testing.T) {
 // TestRingPropagatesPrepareError: a failing prepare surfaces through Next.
 func TestRingPropagatesPrepareError(t *testing.T) {
 	boom := errors.New("boom")
-	fail := func(d []graph.VID, a *tensor.Arena) (*prep.Batch, error) { return nil, boom }
+	fail := func(d []graph.VID, s *Slot) (*prep.Batch, error) { return nil, boom }
 	for _, depth := range []int{0, 2} {
 		ring := NewRing(depth, [][]graph.VID{{1}, {2}}, fail)
 		if _, err := ring.Next(); !errors.Is(err, boom) {

@@ -184,6 +184,12 @@ type Config struct {
 	// storage; the prefetch ring recycles it across batches through
 	// Batch.OnRelease.
 	Arena *tensor.Arena
+	// Structs, when non-nil, is the slot's producer structure pool: the
+	// sampler result, per-layer graph structures and label buffer are
+	// checked out from it and reclaimed when the batch is released (see
+	// Structs.ReleaseBatch). Reuse is shape-derived only, so the prepared
+	// batch is bitwise identical to the allocating path.
+	Structs *Structs
 	// HostOnly skips the T task: the batch stays in host (pinned staging)
 	// memory and owns no device buffers. The data-parallel DeviceGroup
 	// prepares batches this way — each device then pays the PCIe scatter
@@ -200,19 +206,21 @@ func Serial(sampler *sampling.Sampler, features *graph.EmbeddingTable,
 	labels []int32, dev *gpusim.Device, batchDsts []graph.VID, cfg Config) (*Batch, error) {
 
 	bd := metrics.NewBreakdown()
+	st := cfg.Structs
 
 	t0 := time.Now()
-	res := sampler.Sample(batchDsts)
+	res := sampler.SampleReuse(batchDsts, st.TakeSample())
 	bd.Add("sample", time.Since(t0))
 
 	t0 = time.Now()
-	layers := make([]LayerData, len(res.Hops))
+	st.EnsureLayers(len(res.Hops))
+	layers := st.TakeLayerData(len(res.Hops))
 	for l := 1; l <= len(res.Hops); l++ {
-		coo, err := ReindexCOO(res.ForLayer(l), res.Table)
+		ld, err := buildLayerReuse(res.ForLayer(l), res.Table, cfg.Format, st.layerAt(l-1))
 		if err != nil {
 			return nil, err
 		}
-		layers[l-1] = BuildLayer(coo, cfg.Format)
+		layers[l-1] = ld
 	}
 	bd.Add("reindex", time.Since(t0))
 
@@ -221,9 +229,10 @@ func Serial(sampler *sampling.Sampler, features *graph.EmbeddingTable,
 	bd.Add("lookup", time.Since(t0))
 
 	t0 = time.Now()
-	batch := &Batch{Sample: res, Layers: layers, Embed: embed, Breakdown: bd}
+	batch := st.TakeBatch()
+	batch.Sample, batch.Layers, batch.Embed, batch.Breakdown = res, layers, embed, bd
 	if labels != nil {
-		batch.Labels = make([]int32, len(res.Batch))
+		batch.Labels = st.TakeLabels(len(res.Batch))
 		for i, orig := range res.Batch {
 			batch.Labels[i] = labels[orig]
 		}

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"graphtensor/internal/graph"
+	"graphtensor/internal/sched"
 	"graphtensor/internal/tensor"
 	"graphtensor/internal/vidmap"
 )
@@ -64,13 +65,22 @@ type Hop struct {
 }
 
 // Result is the sampler output: per-hop edge lists plus the hash table that
-// reindexing (R) and embedding lookup (K) consume.
+// reindexing (R) and embedding lookup (K) consume. A Result recycled
+// through Sampler.BeginReuse/SampleReuse keeps its hash table and backing
+// edge arrays across batches — the producer-arena discipline of the
+// prefetch ring's slot rotation.
 type Result struct {
 	Table *vidmap.Table
 	Batch []graph.VID // original VIDs of the batch dsts (new VIDs 0..len-1)
 	Hops  []Hop       // Hops[t-1] is hop t; GNN layer ℓ uses Hops[Layers-ℓ]
 	// FrontierSizes[t] = |F_t| (FrontierSizes[0] = len(Batch)).
 	FrontierSizes []int
+
+	// src/dst back the cumulative per-hop edge views in Hops; run is the
+	// stepwise sampling state. Both are retained across BeginReuse so a
+	// slot-recycled result re-enters sampling without reallocating.
+	src, dst []graph.VID
+	run      Run
 }
 
 // NumVertices returns the total number of sampled vertices |F_L|.
@@ -96,8 +106,12 @@ type Sampler struct {
 	scratch sync.Pool // *hopScratch
 }
 
-// hopScratch is the reusable workspace of one in-flight sampleHop call.
+// hopScratch is the reusable workspace (and worker-pool dispatch context)
+// of one in-flight sampleHop call.
 type hopScratch struct {
+	s      *Sampler
+	dsts   []graph.VID
+	per    int // fixed chunk width, derived from cfg.Workers — not the pool
 	chunks []hopChunk
 }
 
@@ -124,7 +138,16 @@ func New(full *graph.CSR, cfg Config) *Sampler {
 
 // Sample runs the full multi-hop sampling for one batch.
 func (s *Sampler) Sample(batch []graph.VID) *Result {
-	run := s.Begin(batch)
+	return s.SampleReuse(batch, nil)
+}
+
+// SampleReuse is Sample drawing the result's storage (hash table, hop edge
+// arrays) from a recycled Result — the one the prefetch-ring slot retained
+// from its previous, released batch. recycled may be nil (plain Sample).
+// Reuse is shape-derived only: every recycled buffer is fully rewritten, so
+// the output is bitwise identical to a fresh Sample.
+func (s *Sampler) SampleReuse(batch []graph.VID, recycled *Result) *Result {
+	run := s.BeginReuse(batch, recycled)
 	for !run.Done() {
 		run.Step()
 	}
@@ -136,24 +159,36 @@ func (s *Sampler) Sample(batch []graph.VID) *Result {
 // data preparation of completed hops with the sampling of later ones
 // (§V-B, Fig 13: S2 and S1 run back-to-back while R2/K2 already execute).
 type Run struct {
-	s       *Sampler
-	res     *Result
-	newDsts []graph.VID
-	allSrc  []graph.VID
-	allDst  []graph.VID
-	t       int
+	s        *Sampler
+	res      *Result
+	frontier []graph.VID // dsts the next hop samples neighbors for
+	t        int
 }
 
 // Begin seeds a stepwise sampling run with the batch dst vertices.
 func (s *Sampler) Begin(batch []graph.VID) *Run {
-	res := &Result{
-		Table: vidmap.New(len(batch) * (s.cfg.Fanout + 1) * s.cfg.Layers),
-		Batch: append([]graph.VID(nil), batch...),
+	return s.BeginReuse(batch, nil)
+}
+
+// BeginReuse is Begin over a recycled Result (nil for a fresh one); see
+// SampleReuse. The returned Run is owned by the result, so a steady-state
+// ring slot performs no allocation here at all.
+func (s *Sampler) BeginReuse(batch []graph.VID, res *Result) *Run {
+	if res == nil {
+		res = &Result{Table: vidmap.New(len(batch) * (s.cfg.Fanout + 1) * s.cfg.Layers)}
+	} else {
+		res.Table.Reset()
+		res.Batch = res.Batch[:0]
+		res.Hops = res.Hops[:0]
+		res.FrontierSizes = res.FrontierSizes[:0]
+		res.src, res.dst = res.src[:0], res.dst[:0]
 	}
+	res.Batch = append(res.Batch, batch...)
 	// The batch occupies new VIDs [0, len(batch)) in batch order.
 	res.Table.InsertBatch(batch)
 	res.FrontierSizes = append(res.FrontierSizes, res.Table.Len())
-	return &Run{s: s, res: res, newDsts: append([]graph.VID(nil), batch...), t: 1}
+	res.run = Run{s: s, res: res, frontier: res.Batch, t: 1}
+	return &res.run
 }
 
 // Done reports whether all hops have been sampled.
@@ -166,31 +201,46 @@ func (r *Run) Step() *Hop {
 	if r.Done() {
 		return nil
 	}
-	numDst := r.res.Table.Len()
-	srcStart := len(r.allSrc)
-	r.allSrc, r.allDst = r.s.sampleHop(r.newDsts, r.allSrc, r.allDst)
-	src := r.allSrc[srcStart:]
+	res := r.res
+	numDst := res.Table.Len()
+	srcStart := len(res.src)
+	res.src, res.dst = r.s.sampleHop(r.frontier, res.src, res.dst)
+	src := res.src[srcStart:]
 	// Allocate new VIDs for freshly seen srcs; the next hop samples
 	// neighbors only for those.
-	r.newDsts = r.s.admit(r.res.Table, src)
-	r.res.FrontierSizes = append(r.res.FrontierSizes, r.res.Table.Len())
-	r.res.Hops = append(r.res.Hops, Hop{
-		SrcOrig: r.allSrc[:len(r.allSrc):len(r.allSrc)],
-		DstOrig: r.allDst[:len(r.allDst):len(r.allDst)],
+	r.frontier = r.s.admit(res.Table, src)
+	res.FrontierSizes = append(res.FrontierSizes, res.Table.Len())
+	res.Hops = append(res.Hops, Hop{
+		SrcOrig: res.src[:len(res.src):len(res.src)],
+		DstOrig: res.dst[:len(res.dst):len(res.dst)],
 		NumDst:  numDst,
-		NumSrc:  r.res.Table.Len(),
+		NumSrc:  res.Table.Len(),
 	})
 	r.t++
-	return &r.res.Hops[len(r.res.Hops)-1]
+	return &res.Hops[len(res.Hops)-1]
 }
 
 // Result returns the sampling result; valid once Done.
 func (r *Run) Result() *Result { return r.res }
 
-// sampleHop samples neighbors for each dst in parallel, appending the
-// hop's new edges in deterministic (dst-major) order onto src/dst and
-// returning the grown slices. Worker buffers come from the sampler's
-// scratch pool and are reused across calls.
+// hopTask is the worker-pool entry of sampleHop: each claimed chunk fills
+// its own buffer with the neighbors of its dst range. Chunk boundaries are
+// derived from cfg.Workers (the sampler's configured thread count), never
+// from the pool, and buffers concatenate in chunk order — so the edge
+// stream is bitwise identical at any GOMAXPROCS, including the degraded
+// single-call path.
+func hopTask(ctx any, lo, hi int) {
+	sc := ctx.(*hopScratch)
+	c := &sc.chunks[lo/sc.per]
+	for _, d := range sc.dsts[lo:hi] {
+		sc.s.appendNeighbors(d, c)
+	}
+}
+
+// sampleHop samples neighbors for each dst in parallel on the shared worker
+// pool, appending the hop's new edges in deterministic (dst-major) order
+// onto src/dst and returning the grown slices. Worker buffers come from the
+// sampler's scratch pool and are reused across calls.
 func (s *Sampler) sampleHop(dsts []graph.VID, src, dst []graph.VID) ([]graph.VID, []graph.VID) {
 	workers := s.cfg.Workers
 	if workers > len(dsts) {
@@ -207,33 +257,21 @@ func (s *Sampler) sampleHop(dsts []graph.VID, src, dst []graph.VID) ([]graph.VID
 		sc.chunks = make([]hopChunk, workers)
 	}
 	sc.chunks = sc.chunks[:workers]
-	var wg sync.WaitGroup
-	per := (len(dsts) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*per, (w+1)*per
-		if hi > len(dsts) {
-			hi = len(dsts)
-		}
-		if lo >= hi {
-			sc.chunks[w].src = sc.chunks[w].src[:0]
-			sc.chunks[w].dst = sc.chunks[w].dst[:0]
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			c := &sc.chunks[w]
-			c.src, c.dst = c.src[:0], c.dst[:0]
-			for _, d := range dsts[lo:hi] {
-				s.appendNeighbors(d, c)
-			}
-		}(w, lo, hi)
+	for w := range sc.chunks {
+		sc.chunks[w].src = sc.chunks[w].src[:0]
+		sc.chunks[w].dst = sc.chunks[w].dst[:0]
 	}
-	wg.Wait()
+	per := (len(dsts) + workers - 1) / workers
+	if per < 1 {
+		per = 1
+	}
+	sc.s, sc.dsts, sc.per = s, dsts, per
+	sched.RunChunk(len(dsts), per, workers, sc, hopTask)
 	for i := range sc.chunks {
 		src = append(src, sc.chunks[i].src...)
 		dst = append(dst, sc.chunks[i].dst...)
 	}
+	sc.s, sc.dsts = nil, nil
 	s.scratch.Put(sc)
 	return src, dst
 }

@@ -129,6 +129,19 @@ func (t *Table) InsertBatch(origs []graph.VID) {
 	}
 }
 
+// Reset empties the table while keeping its storage (the map's buckets and
+// the order array's capacity), so a slot-recycled sampling result re-enters
+// the next batch without reallocating its hash table. Contention counters
+// keep accumulating across resets. The caller must guarantee no concurrent
+// access — a table is only reset between batches, when its batch has been
+// released.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	clear(t.m)
+	t.order = t.order[:0]
+}
+
 // OrigSlice returns the original VIDs of new VIDs [lo, hi) as a read-only
 // view of the table's allocation order — no copy is made. The view stays
 // valid as entries are only ever appended; callers must not mutate it.

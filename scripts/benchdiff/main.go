@@ -15,12 +15,16 @@
 //
 //	go run ./scripts/benchdiff BENCH_1.json BENCH_2.json
 //	go run ./scripts/benchdiff -threshold 10 -allocslack 0 BENCH_1.json BENCH_2.json
-//	go run ./scripts/benchdiff -smoke BENCH_1.json BENCH_2.json  # never fails
+//	go run ./scripts/benchdiff -smoke BENCH_1.json BENCH_2.json       # never fails
+//	go run ./scripts/benchdiff -allocsonly BENCH_1.json BENCH_2.json  # gate allocs/op only
 //
-// -smoke prints the comparison but always exits 0; CI uses it so snapshots
-// captured on different machines don't fail unrelated pushes, while local
-// runs keep the hard gates. (allocs/op is machine-independent, so even the
-// smoke output makes allocation regressions obvious.)
+// -smoke prints the comparison but always exits 0. -allocsonly keeps the
+// allocs/op gate hard but prints ns/op deltas without gating them: CI runs
+// it because allocs/op is machine-independent (the committed snapshots come
+// from a different machine class than the runner), so the pooled
+// steady-state allocation floor stays a ratcheted invariant on every push
+// while wall-clock noise cannot fail unrelated changes. Local runs keep
+// both hard gates.
 package main
 
 import (
@@ -64,9 +68,10 @@ func main() {
 	threshold := flag.Float64("threshold", 15, "max allowed ns/op regression in percent before failing")
 	allocSlack := flag.Int64("allocslack", 2, "max allowed allocs/op growth before failing (small allowance for benchmarks that legitimately change)")
 	smoke := flag.Bool("smoke", false, "print the diff but always exit 0 (CI smoke mode)")
+	allocsOnly := flag.Bool("allocsonly", false, "gate allocs/op only; ns/op deltas are printed but never fail (for CI, where snapshots come from a different machine class)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-smoke] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-allocslack n] [-smoke] [-allocsonly] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	oldF, err := load(flag.Arg(0))
@@ -100,7 +105,7 @@ func main() {
 		compared++
 		pct := (nb.NsPerOpBest - ob.NsPerOpBest) / ob.NsPerOpBest * 100
 		mark := ""
-		if pct > *threshold {
+		if pct > *threshold && !*allocsOnly {
 			mark = "  REGRESSION"
 		}
 		if nb.AllocsPerOp > ob.AllocsPerOp+*allocSlack {
