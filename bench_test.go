@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
+	"graphtensor/internal/cache"
 	"graphtensor/internal/datasets"
 	"graphtensor/internal/experiments"
 	"graphtensor/internal/frameworks"
@@ -21,6 +23,7 @@ import (
 	"graphtensor/internal/kernels"
 	"graphtensor/internal/pipeline"
 	"graphtensor/internal/sampling"
+	"graphtensor/internal/serve"
 	"graphtensor/internal/tensor"
 )
 
@@ -237,6 +240,85 @@ func BenchmarkPrepareBatch(b *testing.B) {
 		batch.Release()
 		slot.Recycle(batch)
 	}
+}
+
+// BenchmarkServeQuery is the serving fast path's allocation/latency floor:
+// one warm coalesced batch (256 dsts) through PrepareInto on a warm slot +
+// FWP-only inference, no gradients and no backward workspaces. Its
+// allocs/op is gated by the benchdiff alloc ratchet, like
+// BenchmarkPrepareBatch.
+func BenchmarkServeQuery(b *testing.B) {
+	ds, err := datasets.Generate("products", datasets.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := frameworks.New(frameworks.PreproGT, ds, frameworks.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	slot := pipeline.NewSlot()
+	dsts := ds.BatchDsts(256, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits, batch, err := tr.Serve(dsts, slot)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logits.Free()
+		batch.Release()
+		slot.Recycle(batch)
+	}
+}
+
+// BenchmarkServeThroughput drives the concurrent serving engine end to end:
+// 64 outstanding queries of 16 dsts per op, coalesced under the default
+// size/deadline policy and drained by 2 replicas with a 10% degree cache.
+// The reported queries/sec metric is the engine's steady-state throughput.
+func BenchmarkServeThroughput(b *testing.B) {
+	ds, err := datasets.Generate("products", datasets.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := frameworks.New(frameworks.PreproGT, ds, frameworks.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := serve.DefaultConfig()
+	cfg.Replicas = 2
+	cfg.MaxDelay = 500 * time.Microsecond
+	cfg.Cache = cache.New(ds.NumVertices()/10, cache.Degree, ds.Graph)
+	srv, err := serve.NewServer(tr, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	const queries, querySize = 64, 16
+	dsts := make([][]graph.VID, queries)
+	outs := make([][]float32, queries)
+	for q := range dsts {
+		dsts[q] = ds.BatchDsts(querySize, uint64(q+1))
+		outs[q] = make([]float32, querySize*srv.OutDim())
+	}
+	tks := make([]*serve.Ticket, queries)
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		for q := range dsts {
+			var err error
+			tks[q], err = srv.Submit(dsts[q], outs[q])
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, tk := range tks {
+			if err := tk.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(queries*b.N)/time.Since(start).Seconds(), "queries/sec")
 }
 
 // BenchmarkTrainEpoch is the steady-state end-to-end benchmark: 8 batches

@@ -1,6 +1,7 @@
-// Serving: train a GCN, then serve inference on fresh query batches and
-// report per-query latency and accuracy — the inference path (FWP only,
-// no gradients) a deployed GNN service runs.
+// Serving: train a GCN, then serve inference traffic through the
+// concurrent serving engine — request coalescing under a size/deadline
+// policy, replicated FWP-only inference, and a PaGraph-style embedding
+// cache — and report throughput, the latency histogram and accuracy.
 //
 //	go run ./examples/serving
 package main
@@ -9,9 +10,11 @@ import (
 	"fmt"
 	"time"
 
+	"graphtensor/internal/cache"
 	"graphtensor/internal/datasets"
 	"graphtensor/internal/frameworks"
 	"graphtensor/internal/graph"
+	"graphtensor/internal/serve"
 )
 
 func main() {
@@ -36,28 +39,86 @@ func main() {
 		fmt.Printf("  epoch %d mean loss %.4f\n", e, loss)
 	}
 
-	// Serve inference on fresh query batches.
-	fmt.Println("\nserving queries (inference only):")
-	var totalLatency time.Duration
-	var accSum float64
-	const queries = 10
-	for q := 0; q < queries; q++ {
-		batch := ds.BatchDsts(100, uint64(10_000+q))
-		t0 := time.Now()
-		prepared, err := tr.Prepare(batch, nil)
-		if err != nil {
-			panic(err)
-		}
-		acc, err := tr.Evaluate(prepared)
-		if err != nil {
-			panic(err)
-		}
-		lat := time.Since(t0)
-		prepared.Release()
-		totalLatency += lat
-		accSum += acc
-		_ = graph.VID(0)
+	// Serve inference: 2 replicas drain coalesced micro-batches (≤256 dsts
+	// or 2ms), with the top-degree 10% of vertices cache-resident.
+	cfg := serve.DefaultConfig()
+	cfg.MaxBatch = 256
+	cfg.Replicas = 2
+	cfg.Cache = cache.New(ds.NumVertices()/10, cache.Degree, ds.Graph)
+	srv, err := serve.NewServer(tr, cfg)
+	if err != nil {
+		panic(err)
 	}
-	fmt.Printf("served %d queries: mean latency %v, mean accuracy %.3f\n",
-		queries, (totalLatency / queries).Round(time.Microsecond), accSum/queries)
+
+	const queries, querySize = 200, 20
+	fmt.Printf("\nserving %d queries of %d vertices (%d replicas, cache %d vertices):\n",
+		queries, querySize, cfg.Replicas, cfg.Cache.Capacity())
+	outs := make([][]float32, queries)
+	tickets := make([]*serve.Ticket, queries)
+	dsts := make([][]graph.VID, queries)
+	for q := 0; q < queries; q++ {
+		dsts[q] = ds.BatchDsts(querySize, uint64(10_000+q))
+		outs[q] = make([]float32, querySize*srv.OutDim())
+		tickets[q], err = srv.Submit(dsts[q], outs[q])
+		if err != nil {
+			panic(err)
+		}
+	}
+	for _, tk := range tickets {
+		if err := tk.Wait(); err != nil {
+			panic(err)
+		}
+	}
+
+	st := srv.Stats()
+	lat := srv.Latencies()
+	srv.Close()
+
+	// Accuracy from the scattered logits.
+	correct, total := 0, 0
+	od := srv.OutDim()
+	for q := range outs {
+		for i, d := range dsts[q] {
+			row := outs[q][i*od : (i+1)*od]
+			best := 0
+			for j := 1; j < od; j++ {
+				if row[j] > row[best] {
+					best = j
+				}
+			}
+			if int32(best) == ds.Labels[d] {
+				correct++
+			}
+			total++
+		}
+	}
+
+	fmt.Printf("  %d queries in %d coalesced batches (mean %.1f dsts/batch)\n",
+		st.Queries, st.Batches, st.MeanBatch)
+	fmt.Printf("  throughput %.0f queries/s, cache hit rate %.1f%%, accuracy %.3f\n",
+		st.Throughput, 100*st.CacheHitRate, float64(correct)/float64(total))
+	fmt.Printf("  latency p50 %v  p90 %v  p99 %v  max %v\n",
+		st.Latency.P50.Round(time.Microsecond), st.Latency.P90.Round(time.Microsecond),
+		st.Latency.P99.Round(time.Microsecond), st.Latency.Max.Round(time.Microsecond))
+
+	// Latency histogram: power-of-two buckets up to the max.
+	fmt.Println("\nlatency histogram:")
+	bucket := 500 * time.Microsecond
+	for bucket < st.Latency.Max {
+		bucket *= 2
+	}
+	buckets := make([]int, 8)
+	for _, l := range lat {
+		i := int(int64(l) * int64(len(buckets)) / int64(bucket+1))
+		buckets[i]++
+	}
+	for i, n := range buckets {
+		lo := time.Duration(int64(bucket) * int64(i) / int64(len(buckets)))
+		hi := time.Duration(int64(bucket) * int64(i+1) / int64(len(buckets)))
+		bar := ""
+		for j := 0; j < n*50/len(lat)+min(n, 1); j++ {
+			bar += "#"
+		}
+		fmt.Printf("  %8v – %8v %5d %s\n", lo.Round(time.Microsecond), hi.Round(time.Microsecond), n, bar)
+	}
 }

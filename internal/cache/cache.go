@@ -7,11 +7,22 @@
 // on the input datasets and user behaviours" — so this package also reports
 // the hit rate, letting the benchmark harness show where caching helps and
 // where it does not.
+//
+// Concurrency: the resident set is sharded by a multiplicative VID hash, so
+// concurrent preprocessing pipelines (the serving engine's replicas) never
+// contend on one global lock. The Degree policy's resident set is immutable
+// after construction and is read lock-free; LFU admission takes only the
+// touched vertex's shard lock and is O(1) amortized — a candidate displaces
+// the least-frequent resident only once its own frequency exceeds the
+// shard's cached frequency floor, so the per-lookup full-sort rebalance of
+// the original implementation is gone. The cache only ever changes modeled
+// preprocessing cost, never batch contents.
 package cache
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"graphtensor/internal/graph"
 )
@@ -27,31 +38,66 @@ const (
 	LFU
 )
 
-// Cache holds a fixed set of vertices' embeddings device-resident.
-type Cache struct {
+// maxShards bounds the resident-set sharding. Shard count is chosen so each
+// shard holds a meaningful slice of the capacity (small caches degrade to
+// one shard, the exact semantics of the unsharded implementation).
+const maxShards = 32
+
+// shard is one lock domain of the resident set.
+type shard struct {
 	mu       sync.Mutex
 	capacity int
-	policy   Policy
 	resident map[graph.VID]struct{}
-	freq     map[graph.VID]int
+	// LFU state: request frequencies plus a lower bound on the smallest
+	// resident frequency. A candidate at or below the floor cannot displace
+	// anything, so the common no-admission path never scans.
+	freq  map[graph.VID]int
+	floor int
+}
 
-	hits, misses int64
+// Cache holds a fixed set of vertices' embeddings device-resident.
+type Cache struct {
+	capacity int
+	policy   Policy
+	mask     uint64
+	shards   []shard
+
+	hits, misses atomic.Int64
 }
 
 // New builds a cache of the given capacity and admission policy over the
 // full graph; for the Degree policy it preloads the top-capacity vertices
 // by in-degree.
 func New(capacity int, policy Policy, full *graph.CSR) *Cache {
-	c := &Cache{
-		capacity: capacity,
-		policy:   policy,
-		resident: make(map[graph.VID]struct{}, capacity),
-		freq:     map[graph.VID]int{},
+	if capacity < 0 {
+		capacity = 0
+	}
+	n := 1
+	for n < maxShards && capacity/(n*2) >= 8 {
+		n *= 2
+	}
+	c := &Cache{capacity: capacity, policy: policy, mask: uint64(n - 1), shards: make([]shard, n)}
+	base, rem := capacity/n, capacity%n
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.capacity = base
+		if i < rem {
+			sh.capacity++
+		}
+		sh.resident = make(map[graph.VID]struct{}, sh.capacity)
+		if policy == LFU {
+			sh.freq = map[graph.VID]int{}
+		}
 	}
 	if policy == Degree && full != nil {
 		c.preloadByDegree(full)
 	}
 	return c
+}
+
+// shardOf maps a vertex to its lock domain.
+func (c *Cache) shardOf(v graph.VID) *shard {
+	return &c.shards[(uint64(v)*0x9e3779b97f4a7c15>>33)&c.mask]
 }
 
 func (c *Cache) preloadByDegree(full *graph.CSR) {
@@ -68,86 +114,150 @@ func (c *Cache) preloadByDegree(full *graph.CSR) {
 	if n > len(vs) {
 		n = len(vs)
 	}
+	// The Degree resident set is the global top-capacity by in-degree —
+	// sharding only spreads it across lock domains, it never changes
+	// membership (and the set is immutable afterwards, so reads skip the
+	// shard locks entirely).
 	for i := 0; i < n; i++ {
-		c.resident[vs[i].v] = struct{}{}
+		c.shardOf(vs[i].v).resident[vs[i].v] = struct{}{}
 	}
 }
 
+// Capacity returns the configured resident-set capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
 // Resident reports whether vertex v is cache-resident.
 func (c *Cache) Resident(v graph.VID) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.resident[v]
+	sh := c.shardOf(v)
+	if c.policy == Degree {
+		_, ok := sh.resident[v]
+		return ok
+	}
+	sh.mu.Lock()
+	_, ok := sh.resident[v]
+	sh.mu.Unlock()
 	return ok
+}
+
+// CountResident records one request for every vertex in vids and returns
+// how many were cache-resident (hits skip the embedding gather and the
+// modeled host→device transfer) and how many were not. It is the
+// allocation-free request path of the preprocessing K/T subtasks and is
+// safe for concurrent use; for the LFU policy it also performs incremental
+// admission. A nil cache counts everything as a miss.
+func (c *Cache) CountResident(vids []graph.VID) (hits, misses int) {
+	if c == nil {
+		return 0, len(vids)
+	}
+	if c.policy == Degree {
+		for _, v := range vids {
+			if _, ok := c.shardOf(v).resident[v]; ok {
+				hits++
+			}
+		}
+	} else {
+		for _, v := range vids {
+			sh := c.shardOf(v)
+			sh.mu.Lock()
+			if sh.touch(v) {
+				hits++
+			}
+			sh.mu.Unlock()
+		}
+	}
+	misses = len(vids) - hits
+	c.hits.Add(int64(hits))
+	c.misses.Add(int64(misses))
+	return hits, misses
+}
+
+// touch records one LFU request for v and reports whether v was resident
+// when the request arrived. Admission is incremental: v joins while the
+// shard has spare capacity, and afterwards displaces the least-frequent
+// resident only once its own frequency exceeds that resident's. The floor
+// field caches the last exactly-computed minimum as a lower bound, so the
+// overwhelmingly common "no displacement possible" case is a single
+// comparison; the O(capacity) scan runs only when a candidate might win.
+// The caller holds the shard lock.
+func (sh *shard) touch(v graph.VID) bool {
+	f := sh.freq[v] + 1
+	sh.freq[v] = f
+	if _, ok := sh.resident[v]; ok {
+		return true
+	}
+	if sh.capacity == 0 {
+		return false
+	}
+	if len(sh.resident) < sh.capacity {
+		sh.resident[v] = struct{}{}
+		return false
+	}
+	if f <= sh.floor {
+		return false
+	}
+	first := true
+	var minV graph.VID
+	minF := 0
+	for rv := range sh.resident {
+		rf := sh.freq[rv]
+		if first || rf < minF || (rf == minF && rv < minV) {
+			minV, minF, first = rv, rf, false
+		}
+	}
+	sh.floor = minF // exact now; resident frequencies only grow from here
+	if f > minF {
+		delete(sh.resident, minV)
+		sh.resident[v] = struct{}{}
+	}
+	return false
 }
 
 // Partition splits a vertex request list into the cache hits (already
 // device-resident, no transfer needed) and misses (must be gathered and
 // transferred). It records hit/miss statistics and, for the LFU policy,
-// updates admission.
+// updates admission. Hot paths that only need counts should use the
+// allocation-free CountResident instead.
 func (c *Cache) Partition(vids []graph.VID) (hits, misses []graph.VID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, v := range vids {
-		c.freq[v]++
-		if _, ok := c.resident[v]; ok {
+		sh := c.shardOf(v)
+		var ok bool
+		if c.policy == Degree {
+			_, ok = sh.resident[v]
+		} else {
+			sh.mu.Lock()
+			ok = sh.touch(v)
+			sh.mu.Unlock()
+		}
+		if ok {
 			hits = append(hits, v)
-			c.hits++
+			c.hits.Add(1)
 		} else {
 			misses = append(misses, v)
-			c.misses++
+			c.misses.Add(1)
 		}
-	}
-	if c.policy == LFU {
-		c.rebalanceLFU()
 	}
 	return hits, misses
 }
 
-// rebalanceLFU keeps the capacity most-frequent vertices resident.
-func (c *Cache) rebalanceLFU() {
-	if len(c.freq) <= c.capacity {
-		for v := range c.freq {
-			c.resident[v] = struct{}{}
-		}
-		return
-	}
-	type vf struct {
-		v graph.VID
-		f int
-	}
-	all := make([]vf, 0, len(c.freq))
-	for v, f := range c.freq {
-		all = append(all, vf{v, f})
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].f > all[j].f })
-	c.resident = make(map[graph.VID]struct{}, c.capacity)
-	for i := 0; i < c.capacity && i < len(all); i++ {
-		c.resident[all[i].v] = struct{}{}
-	}
-}
-
 // HitRate returns the fraction of requests served from the cache so far.
 func (c *Cache) HitRate() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	total := c.hits + c.misses
-	if total == 0 {
+	if c == nil {
 		return 0
 	}
-	return float64(c.hits) / float64(total)
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
 }
 
 // Stats returns the cumulative hit and miss counts.
 func (c *Cache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
 
 // Reset clears the statistics (not the resident set).
 func (c *Cache) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hits, c.misses = 0, 0
+	c.hits.Store(0)
+	c.misses.Store(0)
 }

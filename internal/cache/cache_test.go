@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"sync"
 	"testing"
 
 	"graphtensor/internal/graph"
@@ -62,6 +63,66 @@ func TestLFULearnsHotVertices(t *testing.T) {
 	}
 }
 
+func TestCountResidentMatchesPartition(t *testing.T) {
+	full := star(4, 40)
+	a := New(4, Degree, full)
+	b := New(4, Degree, full)
+	req := []graph.VID{0, 1, 2, 3, 9, 11, 0, 30}
+	hitsL, missesL := a.Partition(req)
+	hits, misses := b.CountResident(req)
+	if hits != len(hitsL) || misses != len(missesL) {
+		t.Errorf("CountResident (%d,%d) != Partition (%d,%d)", hits, misses, len(hitsL), len(missesL))
+	}
+	ah, am := a.Stats()
+	bh, bm := b.Stats()
+	if ah != bh || am != bm {
+		t.Errorf("stats diverge: partition (%d,%d) vs count (%d,%d)", ah, am, bh, bm)
+	}
+}
+
+// TestConcurrentCountResident hammers the sharded request path from many
+// goroutines (run under -race in CI): concurrent LFU admission must stay
+// data-race free, keep exact aggregate counters and never let the resident
+// set exceed capacity.
+func TestConcurrentCountResident(t *testing.T) {
+	const capacity, goroutines, rounds = 64, 8, 200
+	for _, policy := range []Policy{Degree, LFU} {
+		c := New(capacity, policy, star(capacity, 400))
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				req := make([]graph.VID, 32)
+				for r := 0; r < rounds; r++ {
+					for i := range req {
+						req[i] = graph.VID((g*31 + r*17 + i*i) % (capacity + 400))
+					}
+					c.CountResident(req)
+				}
+			}(g)
+		}
+		wg.Wait()
+		h, m := c.Stats()
+		if total := int64(goroutines * rounds * 32); h+m != total {
+			t.Errorf("policy %d: %d hits + %d misses != %d requests", policy, h, m, total)
+		}
+		residents := 0
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			if len(sh.resident) > sh.capacity && policy == LFU {
+				t.Errorf("policy %d: shard %d holds %d residents over capacity %d", policy, i, len(sh.resident), sh.capacity)
+			}
+			residents += len(sh.resident)
+			sh.mu.Unlock()
+		}
+		if residents > capacity {
+			t.Errorf("policy %d: %d residents exceed capacity %d", policy, residents, capacity)
+		}
+	}
+}
+
 func TestHitRateImprovesWithLocality(t *testing.T) {
 	full := star(5, 100)
 	c := New(5, Degree, full)
@@ -71,5 +132,31 @@ func TestHitRateImprovesWithLocality(t *testing.T) {
 	}
 	if c.HitRate() < 0.8 {
 		t.Errorf("hit rate %g too low for hub-heavy workload", c.HitRate())
+	}
+}
+
+// BenchmarkCountResident measures the request fast path the preprocessing
+// K/T subtasks call per chunk: it must stay allocation-free, and under LFU
+// the incremental admission must stay O(1) amortized (the original
+// implementation re-sorted the whole frequency table under one global
+// mutex on every lookup).
+func BenchmarkCountResident(b *testing.B) {
+	full := star(256, 4096)
+	req := make([]graph.VID, 512)
+	for i := range req {
+		req[i] = graph.VID((i * 37) % (256 + 4096))
+	}
+	for _, tc := range []struct {
+		name   string
+		policy Policy
+	}{{"degree", Degree}, {"lfu", LFU}} {
+		b.Run(tc.name, func(b *testing.B) {
+			c := New(256, tc.policy, full)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.CountResident(req)
+			}
+		})
 	}
 }

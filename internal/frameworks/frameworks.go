@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"graphtensor/internal/cache"
 	"graphtensor/internal/core"
 	"graphtensor/internal/datasets"
 	"graphtensor/internal/dkp"
@@ -142,6 +143,7 @@ type Trainer struct {
 	Engine  *core.Engine
 	Model   *core.Model
 
+	strategy   kernels.Strategy
 	format     prep.Format
 	pinned     bool
 	overlap    bool
@@ -149,7 +151,13 @@ type Trainer struct {
 	sampler    *sampling.Sampler
 	sched      *pipeline.Scheduler
 	group      *multigpu.DeviceGroup
+	cache      *cache.Cache
 	batchSeq   uint64
+
+	// infer is the retained FWP-only dispatch state of InferBatch: the
+	// layer-graph views and the input header are rebuilt in place per
+	// served batch instead of reallocated.
+	infer inferState
 
 	// slots is the trainer's persistent prefetch-slot rotation: every ring
 	// the trainer builds draws from this free-list, so slot storage (arenas
@@ -161,21 +169,46 @@ type Trainer struct {
 // runs the classic single-device engine (Options.NumDevices == 0).
 func (t *Trainer) Group() *multigpu.DeviceGroup { return t.group }
 
+// SamplerConfig returns the framework's sampling discipline — the serving
+// engine builds its own host-only preprocessing scheduler from it.
+func (t *Trainer) SamplerConfig() sampling.Config { return t.samplerCfg }
+
+// Format returns the framework's on-device graph format.
+func (t *Trainer) Format() prep.Format { return t.format }
+
+// Pinned reports whether the framework stages transfers in page-locked
+// buffers.
+func (t *Trainer) Pinned() bool { return t.pinned }
+
+// SetCache installs (or, with nil, removes) a PaGraph-style embedding cache
+// on the trainer's preprocessing: resident vertices skip the modeled
+// host→device transfer in the K/T tasks and the prepared batches record
+// their hit/miss counts. Residency never changes batch contents. Must not
+// race an in-flight Prepare.
+func (t *Trainer) SetCache(c *cache.Cache) {
+	t.cache = c
+	if t.sched != nil {
+		t.sched.SetCache(c)
+	}
+}
+
+// Cache returns the installed embedding cache (nil without one).
+func (t *Trainer) Cache() *cache.Cache { return t.cache }
+
 // New assembles a trainer for the framework kind over the dataset.
 func New(kind Kind, ds *datasets.Dataset, opt Options) (*Trainer, error) {
 	t := &Trainer{Kind: kind, Opt: opt, Dataset: ds}
 	t.Engine = core.NewEngine(opt.Device)
 
-	var strategy kernels.Strategy
 	switch kind {
 	case DGL:
-		strategy, t.format = kernels.GraphApproach{}, prep.FormatCOO
+		t.strategy, t.format = kernels.GraphApproach{}, prep.FormatCOO
 	case PyG, PyGMT, SALIENT:
-		strategy, t.format = kernels.DLApproach{}, prep.FormatCSR
+		t.strategy, t.format = kernels.DLApproach{}, prep.FormatCSR
 	case GNNAdvisor:
-		strategy, t.format = kernels.Advisor{}, prep.FormatCSR
+		t.strategy, t.format = kernels.Advisor{}, prep.FormatCSR
 	default:
-		strategy, t.format = kernels.NAPA{}, prep.FormatCSRCSC
+		t.strategy, t.format = kernels.NAPA{}, prep.FormatCSRCSC
 	}
 	t.pinned = kind == SALIENT || kind == BaseGT || kind == DynamicGT || kind == PreproGT
 	t.overlap = kind == DGL || kind == SALIENT || kind == BaseGT || kind == DynamicGT || kind == PreproGT
@@ -191,15 +224,7 @@ func New(kind Kind, ds *datasets.Dataset, opt Options) (*Trainer, error) {
 		t.samplerCfg.Workers = 1
 	}
 
-	mp := models.Params{
-		InDim:     ds.FeatureDim,
-		Hidden:    opt.Hidden,
-		OutDim:    maxInt(int(maxLabel(ds.Labels))+1, 2),
-		Layers:    opt.Layers,
-		Seed:      opt.Seed,
-		Strategy:  strategy,
-		EnableDKP: kind == DynamicGT || kind == PreproGT,
-	}
+	mp := t.modelParams()
 	if opt.NumDevices >= 1 {
 		// Data-parallel engine: one weight replica per device, DKP off (the
 		// orchestrator decides from measured wall time, which would let
@@ -239,6 +264,47 @@ func New(kind Kind, ds *datasets.Dataset, opt Options) (*Trainer, error) {
 	return t, nil
 }
 
+// modelParams assembles the model factory parameters of the trainer's
+// architecture (shared by New and SnapshotModel).
+func (t *Trainer) modelParams() models.Params {
+	return models.Params{
+		InDim:     t.Dataset.FeatureDim,
+		Hidden:    t.Opt.Hidden,
+		OutDim:    maxInt(int(maxLabel(t.Dataset.Labels))+1, 2),
+		Layers:    t.Opt.Layers,
+		Seed:      t.Opt.Seed,
+		Strategy:  t.strategy,
+		EnableDKP: t.Kind == DynamicGT || t.Kind == PreproGT,
+	}
+}
+
+// OutDim returns the model's logit width (the per-dst row a served query
+// scatters back).
+func (t *Trainer) OutDim() int {
+	return t.Model.Layers[len(t.Model.Layers)-1].Spec.OutDim
+}
+
+// SnapshotModel builds a fresh replica of the trainer's architecture and
+// copies the current trained weights into it — the weight snapshot a
+// serving replica binds. Like the data-parallel replicas, the snapshot pins
+// kernel placement to aggregation-first: DKP decides from measured wall
+// time, which would let replicas serving the same query diverge bitwise.
+func (t *Trainer) SnapshotModel() (*core.Model, error) {
+	mp := t.modelParams()
+	mp.EnableDKP = false
+	m, err := models.ByName(t.Opt.Model, mp)
+	if err != nil {
+		return nil, err
+	}
+	for li, l := range t.Model.Layers {
+		copy(m.Layers[li].W.Data, l.W.Data)
+		copy(m.Layers[li].B, l.B)
+	}
+	p := dkp.AggrFirst
+	m.SetForcePlacement(&p)
+	return m, nil
+}
+
 // BatchStats reports one end-to-end training batch.
 type BatchStats struct {
 	Prep      time.Duration
@@ -269,7 +335,7 @@ func (t *Trainer) PrepareInto(dsts []graph.VID, tl *metrics.Timeline, slot *pipe
 		b, err = prep.Serial(t.sampler, t.Dataset.Features, t.Dataset.Labels,
 			t.Engine.Dev, dsts,
 			prep.Config{Format: t.format, Pinned: t.pinned, Arena: slot.TensorArena(),
-				Structs: slot.StructPool(), HostOnly: t.group != nil})
+				Structs: slot.StructPool(), HostOnly: t.group != nil, Cache: t.cache})
 	}
 	return b, err
 }
@@ -352,6 +418,65 @@ func (t *Trainer) Compute(b *prep.Batch) (float64, error) {
 	// memos so they do not pin the graph storage.
 	t.Engine.Ctx.EndBatch()
 	return loss, err
+}
+
+// inferState is the trainer's retained FWP-only dispatch state: the layer
+// graph views, their pointer directory and the input header are rebuilt in
+// place for every served batch instead of reallocated (the GroupDev
+// discipline, applied to inference).
+type inferState struct {
+	graphs []kernels.Graphs
+	gptrs  []*kernels.Graphs
+	input  core.Input
+}
+
+// InferBatch runs forward propagation only — no gradients, no update — on a
+// prepared batch through the trainer's retained inference state and returns
+// the logits (device-held; the caller frees them). Under a device group the
+// canonical replica-0 weights are used. This is the serving fast path: no
+// gradient shards, no label buffers, no backward workspaces ever exist,
+// and with a warm slot feeding PrepareInto a served batch allocates a small
+// constant (BenchmarkServeQuery guards it).
+func (t *Trainer) InferBatch(b *prep.Batch) (*kernels.DeviceMatrix, error) {
+	st := &t.infer
+	if cap(st.graphs) < len(b.Layers) {
+		st.graphs = make([]kernels.Graphs, len(b.Layers))
+		st.gptrs = make([]*kernels.Graphs, len(b.Layers))
+		for i := range st.graphs {
+			st.gptrs[i] = &st.graphs[i]
+		}
+	}
+	st.graphs = st.graphs[:cap(st.graphs)]
+	for i, l := range b.Layers {
+		st.graphs[i] = kernels.Graphs{COO: l.COO, CSR: l.CSR, CSC: l.CSC}
+	}
+	x, err := t.Engine.Upload(b.Embed.Data, "serve-x")
+	if err != nil {
+		return nil, err
+	}
+	st.input = core.Input{Graphs: st.gptrs[:len(b.Layers)], X: x, Labels: b.Labels}
+	logits, err := t.Model.Infer(t.Engine.Ctx, &st.input)
+	st.input = core.Input{}
+	x.Free()
+	t.Engine.Ctx.EndBatch()
+	return logits, err
+}
+
+// Serve prepares one coalesced query batch through the slot and runs the
+// FWP-only fast path, returning the logits and the prepared batch. The
+// caller frees the logits, releases the batch and recycles the slot —
+// the warm loop BenchmarkServeQuery gates.
+func (t *Trainer) Serve(dsts []graph.VID, slot *pipeline.Slot) (*kernels.DeviceMatrix, *prep.Batch, error) {
+	b, err := t.PrepareInto(dsts, nil, slot)
+	if err != nil {
+		return nil, nil, err
+	}
+	logits, err := t.InferBatch(b)
+	if err != nil {
+		b.Release()
+		return nil, nil, err
+	}
+	return logits, b, nil
 }
 
 // Evaluate runs inference on a prepared batch and returns classification
@@ -450,7 +575,7 @@ func (t *Trainer) TrainStream(ring *pipeline.Ring, n int) (time.Duration, float6
 // on the batch's sampled-subgraph shape (see internal/pipeline.PrepCostModel).
 func (t *Trainer) ModeledPrep(b *prep.Batch) time.Duration {
 	cm := pipeline.DefaultPrepCostModel()
-	tt := cm.Model(b.Sample, t.Dataset.FeatureDim, t.pinned)
+	tt := cm.ModelBatch(b, t.Dataset.FeatureDim, t.pinned)
 	switch t.Kind {
 	case PreproGT:
 		return cm.Pipelined(tt)
@@ -462,9 +587,10 @@ func (t *Trainer) ModeledPrep(b *prep.Batch) time.Duration {
 }
 
 // ModeledTaskTimes returns the per-task modeled preprocessing times for a
-// prepared batch (the Fig 12a / Fig 20 breakdown data).
+// prepared batch (the Fig 12a / Fig 20 breakdown data), with the batch's
+// embedding-cache residency discounted from the K/T tasks.
 func (t *Trainer) ModeledTaskTimes(b *prep.Batch) pipeline.TaskTimes {
-	return pipeline.DefaultPrepCostModel().Model(b.Sample, t.Dataset.FeatureDim, t.pinned)
+	return pipeline.DefaultPrepCostModel().ModelBatch(b, t.Dataset.FeatureDim, t.pinned)
 }
 
 // ModeledCompute estimates the GPU time of one training batch's kernels

@@ -1,0 +1,8 @@
+//go:build !race
+
+package frameworks
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation-count assertions are meaningless under it: the instrumentation
+// itself allocates per tracked operation.
+const raceEnabled = false

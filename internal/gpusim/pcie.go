@@ -41,6 +41,25 @@ func (p *PCIe) TransferBytes(n int64, pinned bool) time.Duration {
 	return p.account(n, pinned)
 }
 
+// TransferStaged accounts a transfer whose destination copy the caller has
+// already performed, paying the link for n bytes of src only (the
+// cache-aware T task: resident rows are device-held and cross for free).
+// Pageable transfers still bounce the paid payload through a driver
+// staging buffer, keeping that host-side cost physically real exactly as
+// Transfer models it.
+func (p *PCIe) TransferStaged(src []float32, n int64, pinned bool) time.Duration {
+	if !pinned {
+		rows := int(n / 4)
+		if rows > len(src) {
+			rows = len(src)
+		}
+		staging := make([]float32, rows)
+		copy(staging, src[:rows])
+		_ = staging
+	}
+	return p.account(n, pinned)
+}
+
 func (p *PCIe) account(n int64, pinned bool) time.Duration {
 	cfg := p.dev.cfg
 	ns := cfg.TransferLatencyNs

@@ -49,6 +49,11 @@ type Ctx struct {
 	invDegCSR map[*graph.BCSR][]float32
 	invDegCOO map[*graph.BCOO][]float32
 	cscEdges  map[*graph.BCSR][]int32
+
+	// blockBuf backs edgeBlocks' run-aligned block boundaries; recomputed
+	// per launch (an O(E) walk, noise next to the per-edge kernel work) so
+	// the steady state retains one buffer instead of a per-graph memo.
+	blockBuf []int32
 }
 
 // NewCtx builds a kernel context on the device.
@@ -117,6 +122,42 @@ func (c *Ctx) cscEdgeIDs(csr *graph.BCSR, csc *graph.BCSC) []int32 {
 	}
 	v := edgeIDsForCSC(csr, csc)
 	c.cscEdges[csr] = v
+	return v
+}
+
+// edgeBlocks returns the run-aligned thread-block boundaries of a COO edge
+// list: blocks cover at most edgeBlock consecutive edges and never span a
+// dst boundary, so a block's contribution to its dst depends only on that
+// dst's own edge run — the alignment that makes the Graph-approach's
+// partial merge independent of what else shares the batch (the serving
+// engine coalesces and de-coalesces queries freely on top of this).
+// blocks[b] is block b's first edge; blocks[len-1] == NumEdges. The view is
+// valid until the next edgeBlocks call (one retained buffer, no per-graph
+// allocation).
+func (c *Ctx) edgeBlocks(coo *graph.BCOO) []int32 {
+	n := coo.NumEdges()
+	v := c.blockBuf[:0]
+	if cap(v) == 0 {
+		// Worst case for contiguous runs: one short block per dst plus the
+		// full-block count (split-run COOs may still grow once; the buffer
+		// is retained, so growth is one-time per Ctx either way).
+		v = make([]int32, 0, coo.NumDst+n/edgeBlock+2)
+	}
+	v = append(v, 0)
+	for e := 0; e < n; {
+		d := coo.Dst[e]
+		hi := e + edgeBlock
+		if hi > n {
+			hi = n
+		}
+		end := e + 1
+		for end < hi && coo.Dst[end] == d {
+			end++
+		}
+		v = append(v, int32(end))
+		e = end
+	}
+	c.blockBuf = v
 	return v
 }
 

@@ -14,21 +14,24 @@ import (
 // map[int32][]float32 per SM (≈1.8k allocations per kernel launch) to three
 // flat arrays owned by the Ctx and reused across launches:
 //
-//   - idx/gen: numSMs×rows slot directory; an entry is live only when its
-//     generation stamp matches the current launch, so invalidating the
-//     whole directory between launches is a counter bump, not an O(SMs×
-//     dsts) fill. Each SM owns a disjoint stripe, so claiming is race-free
-//     under the SM-confined dispatch of runSMs.
+//   - idx/genStamp: numSMs×rows slot directory; an entry is live only when
+//     its generation stamp (the low 32 bits of genStamp) matches the
+//     current launch, so invalidating the whole directory between launches
+//     is a counter bump, not an O(SMs×dsts) fill. The high 32 bits record
+//     the dispatch-unit index of the slot's first claim (see rowStamped),
+//     packed into the same word so stamping costs no extra array. Each SM
+//     owns a disjoint stripe, so claiming is race-free under the
+//     SM-confined dispatch of runSMs.
 //   - count: claimed slots per SM.
 //   - data:  numSMs×perSM compact row slabs; a row is cleared lazily when
 //     claimed, so the slab itself is never bulk-zeroed.
 //
-// perSM bounds the distinct dsts one SM can touch (its edge share), keeping
+// perSM bounds the distinct dsts one SM can touch (its unit share), keeping
 // the slab far smaller than a dense numSMs×rows×dim block.
 type flatAccum struct {
 	numSMs, rows, dim, perSM int
 	idx                      []int32
-	gen                      []uint32
+	genStamp                 []uint64
 	cur                      uint32
 	count                    []int32
 	data                     []float32
@@ -45,14 +48,14 @@ func (fa *flatAccum) reset(numSMs, rows, dim, perSM int) {
 	fa.numSMs, fa.rows, fa.dim, fa.perSM = numSMs, rows, dim, perSM
 	if need := numSMs * rows; cap(fa.idx) < need {
 		fa.idx = make([]int32, need)
-		fa.gen = make([]uint32, need) // zeroed: older than any cur >= 1
+		fa.genStamp = make([]uint64, need) // zeroed: older than any cur >= 1
 	} else {
 		fa.idx = fa.idx[:need]
-		fa.gen = fa.gen[:need]
+		fa.genStamp = fa.genStamp[:need]
 	}
 	fa.cur++
 	if fa.cur == 0 { // wraparound: stamps from 2^32 launches ago resurface
-		clear(fa.gen[:cap(fa.gen)]) // the capacity tail holds stamps too
+		clear(fa.genStamp[:cap(fa.genStamp)]) // the capacity tail holds stamps too
 		fa.cur = 1
 	}
 	if cap(fa.count) < numSMs {
@@ -68,31 +71,58 @@ func (fa *flatAccum) reset(numSMs, rows, dim, perSM int) {
 	}
 }
 
-// row returns SM smID's partial row for dst d, claiming and zeroing a slot
-// on first touch. Each smID must be confined to one goroutine (the runSMs
-// dispatch guarantees this); distinct SMs touch disjoint array stripes.
-func (fa *flatAccum) row(smID int, d graph.VID) []float32 {
+// claim returns (slot row, live-before) for (smID, d), claiming and zeroing
+// a slot stamped with unit u on first touch. Each smID must be confined to
+// one goroutine (the runSMs dispatch guarantees this); distinct SMs touch
+// disjoint array stripes.
+func (fa *flatAccum) claim(smID int, d graph.VID, u int32) ([]float32, bool) {
 	p := smID*fa.rows + int(d)
-	if fa.gen[p] != fa.cur {
+	if uint32(fa.genStamp[p]) != fa.cur {
 		slot := fa.count[smID]
 		if int(slot) >= fa.perSM {
 			panic(fmt.Sprintf("kernels: flatAccum SM %d exceeded its %d-slot bound", smID, fa.perSM))
 		}
 		fa.count[smID] = slot + 1
-		fa.gen[p] = fa.cur
+		fa.genStamp[p] = uint64(fa.cur) | uint64(uint32(u))<<32
 		fa.idx[p] = slot
 		r := fa.slot(smID, slot)
 		clear(r)
-		return r
+		return r, false
 	}
-	return fa.slot(smID, fa.idx[p])
+	return fa.slot(smID, fa.idx[p]), true
+}
+
+// row returns SM smID's partial row for dst d, claiming and zeroing a slot
+// on first touch.
+func (fa *flatAccum) row(smID int, d graph.VID) []float32 {
+	r, _ := fa.claim(smID, d, 0)
+	return r
+}
+
+// rowStamped is row, additionally recording dispatch-unit index u on the
+// slot's first claim. Per-SM unit processing ascends, so the stamp is the
+// smallest unit of this SM that touched d.
+func (fa *flatAccum) rowStamped(smID int, d graph.VID, u int32) []float32 {
+	r, _ := fa.claim(smID, d, u)
+	return r
+}
+
+// stampAt returns the first-claim unit stamp for (smID, d) and whether the
+// slot is live in this launch.
+func (fa *flatAccum) stampAt(smID, d int) (int32, bool) {
+	p := smID*fa.rows + d
+	gs := fa.genStamp[p]
+	if uint32(gs) != fa.cur {
+		return 0, false
+	}
+	return int32(gs >> 32), true
 }
 
 // get returns the accumulated partial row for (smID, d), or nil when the SM
 // never touched the dst — the merge pass's analogue of the map lookup.
 func (fa *flatAccum) get(smID, d int) []float32 {
 	p := smID*fa.rows + d
-	if fa.gen[p] != fa.cur {
+	if uint32(fa.genStamp[p]) != fa.cur {
 		return nil
 	}
 	return fa.slot(smID, fa.idx[p])

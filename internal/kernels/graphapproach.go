@@ -65,33 +65,34 @@ func (GraphApproach) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*De
 		// pass — the synchronization cost of updating shared dst rows
 		// from many SMs. Partials live in the Ctx's flat accumulator: one
 		// SM owns blocks b ≡ smID (mod numSMs), so it touches at most its
-		// block share of distinct dsts.
+		// block share of distinct dsts. Blocks are run-aligned (never
+		// spanning a dst boundary) and the merge folds each dst's partials
+		// in ascending block order, so the accumulation order of a dst's
+		// edges is fixed by its own edge run alone — coalescing the dst
+		// into a bigger batch (or serving it alone) cannot change a bit of
+		// its output row.
 		k := ctx.Dev.StartKernel("ga-spmm")
 		numSMs := k.NumSMs()
 		scratch := ctx.msgScratch(numSMs, dim)
-		nBlocks := (coo.NumEdges() + edgeBlock - 1) / edgeBlock
-		fa := ctx.partials(numSMs, coo.NumDst, dim, (nBlocks+numSMs-1)/numSMs*edgeBlock)
-		// Iterate edges in CSR (dst-major) order so each hop's edge id e
-		// aligns with wMat rows only when weighting came from CSR order;
-		// with COO weighting we index wMat by the COO edge id instead.
+		blocks := ctx.edgeBlocks(coo)
+		nBlocks := len(blocks) - 1
+		fa := ctx.partials(numSMs, coo.NumDst, dim, (nBlocks+numSMs-1)/numSMs)
 		runSMs(k, nBlocks, func(sm *gpusim.SMContext, b int) {
 			smID := b % numSMs
-			lo, hi := b*edgeBlock, (b+1)*edgeBlock
-			if hi > coo.NumEdges() {
-				hi = coo.NumEdges()
-			}
+			lo, hi := int(blocks[b]), int(blocks[b+1])
+			d := coo.Dst[lo] // run-aligned: one dst per block
+			row := fa.rowStamped(smID, d, int32(b))
+			scale := aggrScale(m, invDeg, d)
 			for e := lo; e < hi; e++ {
-				s, d := coo.Src[e], coo.Dst[e]
+				s := coo.Src[e]
 				sm.Read(x.RowAddr(int(s)), x.RowBytes())
 				var w []float32
 				if wMat != nil {
 					sm.Read(wMat.RowAddr(e), wMat.RowBytes())
 					w = wMat.M.Row(e)
 				}
-				row := fa.row(smID, d)
 				msg := scratch[smID]
 				sm.AddFLOPs(m.message(x.M.Row(int(s)), w, msg))
-				scale := aggrScale(m, invDeg, d)
 				for j := range row {
 					row[j] += msg[j] * scale
 				}
@@ -100,17 +101,32 @@ func (GraphApproach) Forward(ctx *Ctx, g *Graphs, x *DeviceMatrix, m Modes) (*De
 				sm.Write(out.RowAddr(int(d)), out.RowBytes())
 			}
 		})
-		// Merge pass: each dst gathers the partial rows the SMs produced.
+		// Merge pass: each dst gathers the partial rows the SMs produced,
+		// in ascending block order. A dst's blocks are consecutive block
+		// ids, hence consecutive SMs mod numSMs — walking the SM ring from
+		// the minimal stamp visits them exactly in block order, and when a
+		// dst spans more blocks than SMs, the residue classes that share an
+		// SM are fixed by the run's own ordinals. Either way the fold is a
+		// pure function of the dst's edge run.
 		runSMsChunked(k, coo.NumDst, func(sm *gpusim.SMContext, lo, hi int) {
 			for d := lo; d < hi; d++ {
 				orow := out.M.Row(d)
+				s0, best, found := 0, int32(0), false
 				for smID := 0; smID < numSMs; smID++ {
-					if prow := fa.get(smID, d); prow != nil {
-						sm.Read(out.RowAddr(d), out.RowBytes())
-						for j := range orow {
-							orow[j] += prow[j]
+					if st, ok := fa.stampAt(smID, d); ok && (!found || st < best) {
+						s0, best, found = smID, st, true
+					}
+				}
+				if found {
+					for i := 0; i < numSMs; i++ {
+						smID := (s0 + i) % numSMs
+						if prow := fa.get(smID, d); prow != nil {
+							sm.Read(out.RowAddr(d), out.RowBytes())
+							for j := range orow {
+								orow[j] += prow[j]
+							}
+							sm.AddFLOPs(int64(dim))
 						}
-						sm.AddFLOPs(int64(dim))
 					}
 				}
 				sm.Write(out.RowAddr(d), out.RowBytes())

@@ -187,6 +187,30 @@ func FormatTable(title string, series []Series) string {
 	return sb.String()
 }
 
+// LatencySummary condenses a latency sample into the tail figures a
+// serving report quotes.
+type LatencySummary struct {
+	P50, P90, P99, Max time.Duration
+}
+
+// SummarizeLatencies computes nearest-rank quantiles over a copy of the
+// sample (the input is not reordered). An empty sample yields zeros.
+func SummarizeLatencies(ds []time.Duration) LatencySummary {
+	if len(ds) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(q float64) time.Duration {
+		i := int(q * float64(len(sorted)))
+		if i >= len(sorted) {
+			i = len(sorted) - 1
+		}
+		return sorted[i]
+	}
+	return LatencySummary{P50: rank(0.50), P90: rank(0.90), P99: rank(0.99), Max: sorted[len(sorted)-1]}
+}
+
 // GeoMean returns the geometric mean of vs (the paper's "on average" for
 // ratios). Zero or negative values are skipped.
 func GeoMean(vs []float64) float64 {

@@ -497,7 +497,7 @@ func NewGroup(devices, shards int, cfg gpusim.Config, pinned bool,
 	}
 	ref := g.devs[0].Model
 	for i, d := range g.devs {
-		if i > 0 && !sameWeights(ref, d.Model) {
+		if i > 0 && !SameWeights(ref, d.Model) {
 			return nil, errors.New("multigpu: model factory is not deterministic; replicas differ at init")
 		}
 	}
@@ -526,7 +526,10 @@ func pinAggrFirst(m *core.Model) {
 	m.SetForcePlacement(&p)
 }
 
-func sameWeights(a, b *core.Model) bool {
+// SameWeights reports whether two models carry bitwise-identical
+// parameters — the replica-consistency check NewGroup runs at init and the
+// serving engine's tests reuse for its weight snapshots.
+func SameWeights(a, b *core.Model) bool {
 	if len(a.Layers) != len(b.Layers) {
 		return false
 	}

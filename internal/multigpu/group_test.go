@@ -94,7 +94,7 @@ func (h *groupHarness) trainRun(t *testing.T, nDev, batches, size int) ([]float6
 	// Every replica must hold identical weights after training.
 	ref := g.Replica(0)
 	for i := 1; i < nDev; i++ {
-		if !sameWeights(ref, g.Replica(i)) {
+		if !SameWeights(ref, g.Replica(i)) {
 			t.Fatalf("nDev=%d: replica %d diverged from replica 0", nDev, i)
 		}
 	}

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"time"
 
+	"graphtensor/internal/prep"
 	"graphtensor/internal/sampling"
 )
 
@@ -64,6 +65,23 @@ func (m PrepCostModel) Model(res *sampling.Result, featureDim int, pinned bool) 
 		Lookup:   time.Duration(m.LookupPerByte * embedBytes),
 		Transfer: time.Duration(tf * embedBytes),
 	}
+}
+
+// ModelBatch is Model evaluated on a prepared batch, surfacing the batch's
+// embedding-cache residency in the modeled task times: cache-resident
+// vertices (b.CacheHits of them) skip both the K gather and the T transfer
+// — their embeddings are already device-held — so those tasks' modeled
+// durations scale with the miss fraction. Without a cache it is exactly
+// Model.
+func (m PrepCostModel) ModelBatch(b *prep.Batch, featureDim int, pinned bool) TaskTimes {
+	t := m.Model(b.Sample, featureDim, pinned)
+	n := b.Sample.NumVertices()
+	if b.CacheHits > 0 && n > 0 {
+		missFrac := float64(n-b.CacheHits) / float64(n)
+		t.Lookup = time.Duration(float64(t.Lookup) * missFrac)
+		t.Transfer = time.Duration(float64(t.Transfer) * missFrac)
+	}
+	return t
 }
 
 // Serial returns the modeled latency of the serialized S→R→K→T chain (the

@@ -23,9 +23,9 @@ package pipeline
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
+	"graphtensor/internal/cache"
 	"graphtensor/internal/gpusim"
 	"graphtensor/internal/graph"
 	"graphtensor/internal/metrics"
@@ -49,10 +49,21 @@ type Config struct {
 	// HostOnly skips the T subtasks: batches stay in host staging memory
 	// with no device buffers (see prep.Config.HostOnly — the data-parallel
 	// DeviceGroup's discipline, where each device transfers its own
-	// shards). K chunks still stream into the assembled table as they land.
+	// shards, and the serving engine's, where each replica pays the
+	// miss-only scatter itself). K chunks still stream into the assembled
+	// table as they land. A HostOnly scheduler never touches its device and
+	// may be built with a nil one.
 	HostOnly bool
-	// Workers bounds the scheduler's concurrent subtasks (0 = GOMAXPROCS).
+	// Workers bounds the scheduler's concurrent subtasks (0 = GOMAXPROCS):
+	// it is the size of the persistent subtask-engine worker set all
+	// Prepare calls on the scheduler share.
 	Workers int
+	// Cache, when non-nil, is the PaGraph-style embedding cache the K and T
+	// subtasks consult: resident vertices are gathered into the staging
+	// table as usual (batch contents never depend on residency) but skip
+	// the modeled host→device transfer, and the batch records its hit/miss
+	// counts (see prep.Batch.CacheHits).
+	Cache *cache.Cache
 }
 
 // DefaultConfig returns the scheduler configuration GraphTensor ships.
@@ -67,8 +78,10 @@ func DefaultConfig() Config {
 }
 
 // Scheduler prepares training batches with pipelined preprocessing. The
-// sampler is persistent (it owns the pooled per-hop worker scratch) and
-// safe for concurrent Prepare calls, each drawing its own result.
+// sampler is persistent (it owns the pooled per-hop worker scratch), the
+// subtask engine is persistent (a parked worker set executing pooled R/K
+// descriptors — see subtaskEngine), and the scheduler is safe for
+// concurrent Prepare calls, each drawing its own pooled run state.
 type Scheduler struct {
 	cfg      Config
 	full     *graph.CSR
@@ -76,9 +89,11 @@ type Scheduler struct {
 	labels   []int32
 	dev      *gpusim.Device
 	sampler  *sampling.Sampler
+	engine   *subtaskEngine
 }
 
 // NewScheduler builds a scheduler over a dataset's full graph and features.
+// dev may be nil for a HostOnly scheduler.
 func NewScheduler(full *graph.CSR, features *graph.EmbeddingTable, labels []int32,
 	dev *gpusim.Device, cfg Config) *Scheduler {
 	if cfg.ChunkVertices <= 0 {
@@ -91,8 +106,17 @@ func NewScheduler(full *graph.CSR, features *graph.EmbeddingTable, labels []int3
 		cfg.Sampler.Mode = sampling.ModeShared
 	}
 	return &Scheduler{cfg: cfg, full: full, features: features, labels: labels, dev: dev,
-		sampler: sampling.New(full, cfg.Sampler)}
+		sampler: sampling.New(full, cfg.Sampler), engine: newSubtaskEngine(cfg.Workers)}
 }
+
+// SetCache installs (or, with nil, removes) the embedding cache the K/T
+// subtasks consult. Must not race a Prepare in flight.
+func (s *Scheduler) SetCache(c *cache.Cache) { s.cfg.Cache = c }
+
+// Close retires the scheduler's persistent subtask workers. Call it when a
+// short-lived scheduler (e.g. a serving engine's) is done; no Prepare may
+// be in flight or follow. Long-lived trainer schedulers never need it.
+func (s *Scheduler) Close() { s.engine.close() }
 
 // Prepare runs the pipelined preprocessing for one batch. The optional
 // timeline receives progress events (Fig 20); pass nil to skip recording.
@@ -119,143 +143,72 @@ func (s *Scheduler) prepare(batchDsts []graph.VID, tl *metrics.Timeline,
 	arena *tensor.Arena, structs *prep.Structs) (*prep.Batch, error) {
 	bd := metrics.NewBreakdown()
 	L := s.cfg.Sampler.Layers
-	sampler := s.sampler
+	dim := s.features.Dim
 
-	// Shared state between subtasks. The layer chain and its retained
-	// structure buffers are sized here, on the driving goroutine, before any
-	// R subtask spawns; afterwards each R subtask touches only its own
-	// layer's entry and retained buffer.
+	// Per-prepare state comes from the engine's pool; the layer chain and
+	// its retained structure buffers are sized here, on the driving
+	// goroutine, before any R subtask spawns — afterwards each R subtask
+	// touches only its own layer's entry and retained buffer.
+	s.engine.start()
+	r := s.engine.getRun(s, bd, tl, structs)
 	structs.EnsureLayers(L)
-	var (
-		layers   = structs.TakeLayerData(L)
-		chunksMu sync.Mutex
-		chunks   []embedChunk
-		errMu    sync.Mutex
-		firstErr error
-		setErr   = func(err error) {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
-		}
-	)
+	r.layers = structs.TakeLayerData(L)
 
-	// Dependency signals.
-	hopDone := make([]chan struct{}, L) // S_t completion
-	for i := range hopDone {
-		hopDone[i] = make(chan struct{})
-	}
-	allSampled := hopDone[L-1] // the T barrier (§V-B: wait for the last S)
-
-	run := sampler.BeginReuse(batchDsts, structs.TakeSample())
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, s.cfg.Workers)
-
-	// --- S chain: hop-by-hop sampling on the scheduler goroutine; R and K
-	// subtasks spawn the moment their hop is available.
-	record := func(task string, done, total int) {
-		if tl != nil {
-			tl.Record(task, done, total)
-		}
-	}
-	go func() {
-		totalHops := L
-		for t := 0; t < totalHops; t++ {
-			t := t // capture per-iteration: the R subtask below outlives this iteration
-			st := time.Now()
-			hop := run.Step()
-			bd.Add("sample", time.Since(st))
-			record("sample", run.Result().FrontierSizes[t+1], -1)
-			res := run.Result()
-
-			// R_t: reindex + format build for the GNN layer this hop feeds.
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				st := time.Now()
-				// Hop t (0-based) is processed by GNN layer L-t (1-based),
-				// i.e. layers[L-1-t]; the layer's structures come from the
-				// slot's retained buffer for that index (concurrent R
-				// subtasks touch disjoint buffers).
-				ld, err := structs.LayerInto(L-1-t, hop, res.Table, s.cfg.Format)
-				if err != nil {
-					setErr(err)
-					return
-				}
-				layers[L-1-t] = ld
-				bd.Add("reindex", time.Since(st))
-				record("reindex", hop.NumSrc, -1)
-			}()
-
-			// K_t: gather the embeddings of the vertices this hop added,
-			// in pipeline chunks.
-			lo := res.FrontierSizes[t]
-			hi := res.FrontierSizes[t+1]
-			if t == 0 {
-				lo = 0 // include the batch vertices themselves
-			}
-			// Read-only view: the K chunks only index below hi, which is
-			// already assigned, so later concurrent insertions are harmless.
-			origs := res.Table.OrigSlice(0, res.Table.Len())
-			for c := lo; c < hi; c += s.cfg.ChunkVertices {
-				cLo, cHi := c, c+s.cfg.ChunkVertices
-				if cHi > hi {
-					cHi = hi
-				}
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					sem <- struct{}{}
-					defer func() { <-sem }()
-					st := time.Now()
-					// Staging buffers come from the global tensor pool
-					// (arena handles are single-goroutine; the pool is not)
-					// and are returned as soon as their chunk streams.
-					buf := &graph.EmbeddingTable{Dim: s.features.Dim, Data: tensor.Get(cHi-cLo, s.features.Dim)}
-					for i := cLo; i < cHi; i++ {
-						copy(buf.Data.Row(i-cLo), s.features.Row(origs[i]))
-					}
-					bd.Add("lookup", time.Since(st))
-					record("lookup", cHi-cLo, -1)
-					chunksMu.Lock()
-					chunks = append(chunks, embedChunk{lo: cLo, hi: cHi, data: buf})
-					chunksMu.Unlock()
-				}()
-			}
-			close(hopDone[t])
-		}
-	}()
-
-	// --- T: barrier on the final S, then allocate device memory and
-	// stream the chunks (pinned) plus the graph structures.
-	<-allSampled
+	run := s.sampler.BeginReuse(batchDsts, structs.TakeSample())
 	res := run.Result()
+	r.table = res.Table
+
+	// --- S chain: hop-by-hop sampling on the preparing goroutine; R and K
+	// subtasks are handed to the persistent engine the moment their hop is
+	// available and overlap the sampling of later hops. Driving S inline
+	// costs no overlap: T cannot start before the final S anyway (§V-B —
+	// device allocation needs the total vertex count), so the old per-batch
+	// S goroutine and its hop-done barrier channels bought nothing.
+	for t := 0; t < L; t++ {
+		st := time.Now()
+		hop := run.Step()
+		bd.Add("sample", time.Since(st))
+		r.record("sample", res.FrontierSizes[t+1], -1)
+
+		// R_t: hop t (0-based) is processed by GNN layer L-t (1-based),
+		// i.e. layers[L-1-t].
+		r.spawnReindex(L-1-t, hop)
+
+		// K_t: gather the embeddings of the vertices this hop added, in
+		// pipeline chunks. Read-only view: the K chunks only index below
+		// hi, which is already assigned, so later concurrent insertions
+		// are harmless.
+		lo := res.FrontierSizes[t]
+		hi := res.FrontierSizes[t+1]
+		if t == 0 {
+			lo = 0 // include the batch vertices themselves
+		}
+		origs := res.Table.OrigSlice(0, res.Table.Len())
+		for c := lo; c < hi; c += s.cfg.ChunkVertices {
+			cHi := c + s.cfg.ChunkVertices
+			if cHi > hi {
+				cHi = hi
+			}
+			r.spawnLookup(origs, c, cHi)
+		}
+	}
+
+	// --- T: every hop is sampled; allocate device memory and stream the
+	// chunks (pinned) plus the graph structures while the K subtasks drain.
 	nTotal := res.NumVertices()
 
-	// releaseStaged returns unstreamed staging chunks to the tensor pool on
-	// the failure paths. Call only after wg.Wait (no K producers left).
-	releaseStaged := func() {
-		chunksMu.Lock()
-		pending := chunks
-		chunks = nil
-		chunksMu.Unlock()
-		for _, ch := range pending {
-			tensor.Put(ch.data.Data)
-		}
-	}
-
 	st := time.Now()
-	embed := graph.NewEmbeddingTableArena(arena, nTotal, s.features.Dim)
+	embed := graph.NewEmbeddingTableArena(arena, nTotal, dim)
 	var ebuf *gpusim.Buffer
+	var pcie *gpusim.PCIe
 	if !s.cfg.HostOnly {
+		pcie = s.dev.PCIe()
 		var err error
 		ebuf, err = s.dev.Alloc(embed.Bytes(), "batch-embeddings")
 		if err != nil {
-			wg.Wait()
-			releaseStaged()
+			r.wg.Wait()
+			r.releaseStaged()
+			s.engine.putRun(r)
 			return nil, err
 		}
 	}
@@ -265,20 +218,14 @@ func (s *Scheduler) prepare(batchDsts []graph.VID, tl *metrics.Timeline,
 	// transfer (Fig 14b overlap). A single throttle accrues the modeled
 	// link time across chunks, so the scheduler only pays the aggregate
 	// transfer latency once — and pays it while K keeps producing.
-	pcie := s.dev.PCIe()
+	// Cache-resident rows are already device-held: each chunk pays the
+	// link for its misses only.
 	var link prep.LinkThrottle
-	transferred := 0
-	wantVertices := nTotal
-	for transferred < wantVertices {
-		chunksMu.Lock()
-		pending := chunks
-		chunks = nil
-		chunksMu.Unlock()
+	transferred, cacheHits := 0, 0
+	for transferred < nTotal {
+		pending := r.takePending()
 		if len(pending) == 0 {
-			errMu.Lock()
-			failed := firstErr != nil
-			errMu.Unlock()
-			if failed {
+			if r.failed() {
 				break
 			}
 			runtime.Gosched()
@@ -286,34 +233,37 @@ func (s *Scheduler) prepare(batchDsts []graph.VID, tl *metrics.Timeline,
 		}
 		for _, ch := range pending {
 			st := time.Now()
-			dst := embed.Data.Data[ch.lo*s.features.Dim : ch.hi*s.features.Dim]
-			if s.cfg.HostOnly {
-				copy(dst, ch.data.Data.Data)
-			} else {
-				link.Pay(pcie.Transfer(dst, ch.data.Data.Data, s.cfg.Pinned))
+			rows := ch.hi - ch.lo
+			copy(embed.Data.Data[ch.lo*dim:ch.hi*dim], ch.data.Data[:rows*dim])
+			if !s.cfg.HostOnly {
+				link.Pay(pcie.TransferBytes(int64(rows-ch.hits)*int64(dim)*4, s.cfg.Pinned))
 			}
-			tensor.Put(ch.data.Data)
+			tensor.Put(ch.data)
 			bd.Add("transfer", time.Since(st))
-			transferred += ch.hi - ch.lo
-			record("transfer", transferred, wantVertices)
+			transferred += rows
+			cacheHits += ch.hits
+			r.record("transfer", transferred, nTotal)
 		}
 	}
 
-	wg.Wait()
-	if firstErr != nil {
-		releaseStaged()
+	r.wg.Wait()
+	if err := r.takeErr(); err != nil {
+		r.releaseStaged()
 		ebuf.Free()
-		return nil, firstErr
+		s.engine.putRun(r)
+		return nil, err
 	}
 
 	// Graph structures transfer after the R subtasks complete.
 	st = time.Now()
+	layers := r.layers
 	var bufs []*gpusim.Buffer
 	if !s.cfg.HostOnly {
 		gBytes := prep.GraphBytes(layers)
 		gbuf, err := s.dev.Alloc(gBytes, "batch-graphs")
 		if err != nil {
 			ebuf.Free()
+			s.engine.putRun(r)
 			return nil, err
 		}
 		link.Pay(pcie.TransferBytes(gBytes, s.cfg.Pinned))
@@ -321,11 +271,15 @@ func (s *Scheduler) prepare(batchDsts []graph.VID, tl *metrics.Timeline,
 		bufs = []*gpusim.Buffer{ebuf, gbuf}
 	}
 	bd.Add("transfer", time.Since(st))
-	record("transfer", wantVertices, wantVertices)
+	r.record("transfer", nTotal, nTotal)
+	s.engine.putRun(r)
 
 	batch := structs.TakeBatch()
 	batch.Sample, batch.Layers, batch.Embed = res, layers, embed
 	batch.Breakdown, batch.DeviceBuffers = bd, bufs
+	if s.cfg.Cache != nil {
+		batch.CacheHits, batch.CacheMisses = cacheHits, nTotal-cacheHits
+	}
 	if s.labels != nil {
 		batch.Labels = structs.TakeLabels(len(res.Batch))
 		for i, orig := range res.Batch {
@@ -333,11 +287,6 @@ func (s *Scheduler) prepare(batchDsts []graph.VID, tl *metrics.Timeline,
 		}
 	}
 	return batch, nil
-}
-
-type embedChunk struct {
-	lo, hi int
-	data   *graph.EmbeddingTable
 }
 
 // Serial runs the fully serialized baseline chain (S → R → K → T) used by

@@ -95,36 +95,56 @@ func TestSlotReuseNoAliasingAcrossSlots(t *testing.T) {
 // warm shared slot rotation, the marginal allocations of one more
 // steady-state batch through the (synchronous) ring are a small constant —
 // epoch-length-independent, so ring-driven epoch allocs/op cannot grow with
-// the schedule.
+// the schedule. It covers both producer disciplines: the serial chain and
+// the pipelined scheduler, whose persistent subtask engine must leave no
+// per-batch dispatch allocations (no hop-done channels, semaphores or
+// subtask closures).
 func TestRingProducerAllocFlat(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are inflated by race-detector instrumentation")
 	}
-	prepare, _ := producerFixture(t)
 	ds := testDataset(t)
-	slots := NewSlotRing(2)
-	// A fixed dst list: shapes repeat, so steady state is pure reuse.
-	dsts := ds.BatchDsts(20, 7)
+	serialPrep, _ := producerFixture(t)
+	cfg := DefaultConfig()
+	cfg.HostOnly = true // no modeled transfer throttling in the loop
+	sched := NewScheduler(ds.Graph, ds.Features, ds.Labels, nil, cfg)
 
-	epoch := func(batches int) {
-		ring := NewRingShared(0, batches, slots,
-			func(int) []graph.VID { return dsts }, prepare)
-		for i := 0; i < batches; i++ {
-			b, err := ring.Next()
-			if err != nil {
-				t.Fatal(err)
-			}
-			b.Release()
-		}
-		ring.Stop()
+	fixtures := []struct {
+		name    string
+		prepare func([]graph.VID, *Slot) (*prep.Batch, error)
+	}{
+		{"serial", serialPrep},
+		{"scheduler", func(d []graph.VID, s *Slot) (*prep.Batch, error) {
+			return sched.PrepareSlot(d, nil, s)
+		}},
 	}
-	epoch(4) // warm the slots and every pooled buffer
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) {
+			slots := NewSlotRing(2)
+			// A fixed dst list: shapes repeat, so steady state is pure reuse.
+			dsts := ds.BatchDsts(20, 7)
 
-	a4 := testing.AllocsPerRun(10, func() { epoch(4) })
-	a12 := testing.AllocsPerRun(10, func() { epoch(12) })
-	marginal := (a12 - a4) / 8
-	if marginal > 25 {
-		t.Errorf("steady-state producer allocates %.1f allocs per extra batch (epoch 4: %.0f, epoch 12: %.0f); want a small constant",
-			marginal, a4, a12)
+			epoch := func(batches int) {
+				ring := NewRingShared(0, batches, slots,
+					func(int) []graph.VID { return dsts }, fx.prepare)
+				for i := 0; i < batches; i++ {
+					b, err := ring.Next()
+					if err != nil {
+						t.Fatal(err)
+					}
+					b.Release()
+				}
+				ring.Stop()
+			}
+			epoch(4) // warm the slots and every pooled buffer
+
+			a4 := testing.AllocsPerRun(10, func() { epoch(4) })
+			a12 := testing.AllocsPerRun(10, func() { epoch(12) })
+			marginal := (a12 - a4) / 8
+			if marginal > 25 {
+				t.Errorf("steady-state producer allocates %.1f allocs per extra batch (epoch 4: %.0f, epoch 12: %.0f); want a small constant",
+					marginal, a4, a12)
+			}
+		})
 	}
 }

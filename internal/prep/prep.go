@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"graphtensor/internal/cache"
 	"graphtensor/internal/gpusim"
 	"graphtensor/internal/graph"
 	"graphtensor/internal/metrics"
@@ -67,6 +68,13 @@ type Batch struct {
 
 	DeviceBuffers []*gpusim.Buffer
 	Breakdown     *metrics.Breakdown
+
+	// CacheHits/CacheMisses count the batch's sampled vertices that were
+	// resident / absent in the embedding cache consulted during
+	// preprocessing (both zero without a cache). Residency only discounts
+	// modeled K/T cost — the gathered embedding table is bit-for-bit the
+	// same with and without a cache.
+	CacheHits, CacheMisses int
 
 	// SubBatches optionally carries the batch's data-parallel decomposition
 	// (a *multigpu.BatchPlan; opaque here to avoid an import cycle). The
@@ -196,6 +204,13 @@ type Config struct {
 	// for exactly its shards, so the input transfer is not double-counted
 	// against an idle staging device.
 	HostOnly bool
+	// Cache, when non-nil, is the PaGraph-style embedding cache the K and T
+	// tasks consult: resident vertices' embeddings are already device-held,
+	// so the batch skips their modeled host→device transfer (the gather into
+	// the staging table the simulator computes on still happens — residency
+	// changes modeled cost only, never batch contents). Hit/miss counts are
+	// recorded on the batch and in the cache's own statistics.
+	Cache *cache.Cache
 }
 
 // Serial runs the classic serialized preprocessing chain
@@ -226,11 +241,16 @@ func Serial(sampler *sampling.Sampler, features *graph.EmbeddingTable,
 
 	t0 = time.Now()
 	embed := LookupArena(cfg.Arena, features, res.Table)
+	var hits, missed int
+	if cfg.Cache != nil {
+		hits, missed = cfg.Cache.CountResident(res.Table.OrigSlice(0, res.Table.Len()))
+	}
 	bd.Add("lookup", time.Since(t0))
 
 	t0 = time.Now()
 	batch := st.TakeBatch()
 	batch.Sample, batch.Layers, batch.Embed, batch.Breakdown = res, layers, embed, bd
+	batch.CacheHits, batch.CacheMisses = hits, missed
 	if labels != nil {
 		batch.Labels = st.TakeLabels(len(res.Batch))
 		for i, orig := range res.Batch {
@@ -255,7 +275,10 @@ func Transfer(b *Batch, dev *gpusim.Device, pinned bool) error {
 }
 
 // TransferArena is Transfer with the device-side host mirror drawn from a
-// batch-scoped arena (nil falls back to a plain allocation).
+// batch-scoped arena (nil falls back to a plain allocation). Cache-resident
+// embedding rows (b.CacheHits of them) are already device-held and cross
+// the link for free; the host mirror is still fully populated, so batch
+// contents never depend on residency.
 func TransferArena(b *Batch, dev *gpusim.Device, pinned bool, a *tensor.Arena) error {
 	pcie := dev.PCIe()
 	gBytes := GraphBytes(b.Layers)
@@ -272,12 +295,24 @@ func TransferArena(b *Batch, dev *gpusim.Device, pinned bool, a *tensor.Arena) e
 	}
 	b.DeviceBuffers = append(b.DeviceBuffers, ebuf)
 	deviceCopy := graph.NewEmbeddingTableArena(a, b.Embed.NumVertices(), b.Embed.Dim)
-	d += pcie.Transfer(deviceCopy.Data.Data, b.Embed.Data.Data, pinned)
+	copy(deviceCopy.Data.Data, b.Embed.Data.Data)
+	d += pcie.TransferStaged(b.Embed.Data.Data, MissBytes(b), pinned)
 	b.Embed = deviceCopy
 	var link LinkThrottle
 	link.Pay(d)
 	link.Flush()
 	return nil
+}
+
+// MissBytes returns the host→device embedding payload of the batch: every
+// sampled vertex's row minus the cache-resident ones. Without a cache it is
+// simply the whole table.
+func MissBytes(b *Batch) int64 {
+	rows := b.Embed.NumVertices() - b.CacheHits
+	if rows < 0 {
+		rows = 0
+	}
+	return int64(rows) * int64(b.Embed.Dim) * 4
 }
 
 // LinkThrottle converts modeled PCIe transfer time into wall-clock delay.

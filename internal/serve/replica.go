@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"time"
+
+	"graphtensor/internal/core"
+	"graphtensor/internal/gpusim"
+	"graphtensor/internal/kernels"
+	"graphtensor/internal/pipeline"
+	"graphtensor/internal/prep"
+)
+
+// replica is one serving replica: the multigpu per-device machinery — a
+// persistent simulated device, its kernel context, a batch-scoped device
+// arena and a weight snapshot — bound to a warm prefetch slot and the
+// retained FWP dispatch state. Replicas drain the server's micro-batch
+// queue concurrently; the kernels they launch and the prep subtasks they
+// trigger all ride the shared sched worker pool, so a replica adds no
+// per-batch goroutines of its own.
+type replica struct {
+	srv   *Server
+	id    int
+	dev   *gpusim.Device
+	ctx   *kernels.Ctx
+	arena *gpusim.DeviceArena
+	model *core.Model
+	pcie  *gpusim.PCIe
+
+	// slot is the replica's warm producer slot: its arena and structure
+	// pool recycle everything preparation builds, so a steady-state served
+	// batch allocates a small constant.
+	slot *pipeline.Slot
+
+	// Retained FWP dispatch state (the GroupDev discipline).
+	graphs []kernels.Graphs
+	gptrs  []*kernels.Graphs
+	input  core.Input
+}
+
+func newReplica(s *Server, id int) (*replica, error) {
+	m, err := s.tr.SnapshotModel()
+	if err != nil {
+		return nil, err
+	}
+	dev := gpusim.NewDevice(s.tr.Opt.Device)
+	r := &replica{
+		srv:    s,
+		id:     id,
+		dev:    dev,
+		ctx:    kernels.NewCtx(dev),
+		arena:  dev.NewArena(),
+		model:  m,
+		pcie:   dev.PCIe(),
+		slot:   pipeline.NewSlot(),
+		graphs: make([]kernels.Graphs, len(m.Layers)),
+		gptrs:  make([]*kernels.Graphs, len(m.Layers)),
+	}
+	for i := range r.graphs {
+		r.gptrs[i] = &r.graphs[i]
+	}
+	return r, nil
+}
+
+// drain serves micro-batches until the admission loop closes the queue.
+func (r *replica) drain() {
+	defer r.srv.wg.Done()
+	for mb := range r.srv.batches {
+		r.serveBatch(mb)
+	}
+}
+
+// serveBatch runs one coalesced batch end to end: host-only cache-aware
+// preparation through the replica's warm slot, the miss-only modeled
+// scatter on the replica's own PCIe engine, FWP, and the per-ticket logit
+// scatter.
+func (r *replica) serveBatch(mb *microBatch) {
+	s := r.srv
+	b, err := s.sched.PrepareSlot(mb.dsts, nil, r.slot)
+	if err != nil {
+		s.complete(mb, time.Now(), err)
+		return
+	}
+	err = r.infer(b, mb)
+	b.Release()
+	r.slot.Recycle(b)
+	s.complete(mb, time.Now(), err)
+}
+
+// infer pays the batch's transfer, runs FWP on the replica's snapshot and
+// scatters each ticket's logit rows into its caller-owned buffer.
+func (r *replica) infer(b *prep.Batch, mb *microBatch) error {
+	// The batch staged host-only; this replica pays the host→device scatter
+	// for it — cache-resident embedding rows cross the link for free, the
+	// PaGraph discipline (§VII [38]).
+	var link prep.LinkThrottle
+	link.Pay(r.pcie.TransferBytes(prep.MissBytes(b)+prep.GraphBytes(b.Layers), r.srv.tr.Pinned()))
+
+	x, err := kernels.WrapDeviceMatrix(r.dev, b.Embed.Data, "serve-x")
+	if err != nil {
+		return err
+	}
+	for i, l := range b.Layers {
+		r.graphs[i] = kernels.Graphs{COO: l.COO, CSR: l.CSR, CSC: l.CSC}
+	}
+	r.input = core.Input{Graphs: r.gptrs[:len(b.Layers)], X: x, Labels: b.Labels}
+	logits, err := r.model.Infer(r.ctx, &r.input)
+	r.input = core.Input{}
+	link.Flush()
+	if err != nil {
+		x.Free()
+		r.endBatch()
+		return err
+	}
+
+	od := r.srv.outDim
+	for _, tk := range mb.tickets {
+		for i, d := range tk.dsts {
+			copy(tk.out[i*od:(i+1)*od], logits.M.Row(int(mb.index[d])))
+		}
+	}
+	logits.Free()
+	x.Free()
+	r.endBatch()
+	return nil
+}
+
+// endBatch closes the replica's device batch scope: per-graph memos drop
+// and the device arena releases, so MemInUse returns to zero between
+// served batches.
+func (r *replica) endBatch() {
+	r.ctx.EndBatch()
+	r.arena.Release()
+}

@@ -1,0 +1,443 @@
+// Package serve is GraphTensor's concurrent inference serving engine: the
+// steady-state counterpart of the training pipeline for a deployed GNN
+// service. A served query is almost all preprocessing — sample → reindex →
+// lookup → transfer, with a single FWP at the end — so the package applies
+// the paper's pipelined-preprocessing insight (§V-B) plus the repository's
+// arena/slot/worker-pool disciplines to the request path:
+//
+//   - Admission + coalescing: individual node-inference requests enter a
+//     lock-light queue (one channel hop) and are coalesced into micro-
+//     batches under a size/deadline policy (≤ MaxBatch dsts or MaxDelay),
+//     amortizing the per-query fixed costs — sampler setup, layer-chain
+//     translation, kernel launch — across every query in the batch.
+//     Per-request logit rows are scattered back from the batched logits.
+//   - Inference fast path: replicas prepare through a shared host-only
+//     pipeline.Scheduler (persistent subtask engine, warm pipeline.Slot per
+//     replica) and run FWP only — no gradient shards, no backward
+//     workspaces — so a warm served batch allocates a small constant.
+//   - Cache-aware prep: an optional PaGraph-style embedding cache
+//     (internal/cache) lets resident vertices skip the modeled host→device
+//     transfer; each replica pays the miss-only scatter on its own PCIe
+//     engine, exactly like the data-parallel group's shard discipline.
+//   - Replica scaling: N replicas — one simulated device, kernels.Ctx,
+//     device arena and weight snapshot each, the multigpu replica
+//     machinery — drain the micro-batch queue concurrently; their kernel
+//     launches and prep subtasks ride the shared sched worker pool.
+//
+// Coalescing is pure perf: neighbor choice is a deterministic function of
+// (seed, dst), every kernel accumulates per dst row in an order fixed by
+// that dst's own edge list, and replicas pin aggregation-first placement —
+// so a query's logits are bitwise identical whether it is served alone or
+// coalesced with any other queries, at any GOMAXPROCS and replica count
+// (guarded by TestCoalescedLogitsBitwise).
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"graphtensor/internal/cache"
+	"graphtensor/internal/frameworks"
+	"graphtensor/internal/graph"
+	"graphtensor/internal/metrics"
+	"graphtensor/internal/pipeline"
+)
+
+// Config parameterizes the serving engine.
+type Config struct {
+	// MaxBatch caps the coalesced micro-batch size in distinct dst vertices
+	// (default 512): the admission loop cuts a batch as soon as it fills.
+	MaxBatch int
+	// MaxDelay is the admission deadline (default 2ms): a non-empty batch
+	// is cut at most this long after its first query arrived, bounding the
+	// latency cost of coalescing under light load.
+	MaxDelay time.Duration
+	// Replicas is the number of serving replicas (default 1), each a
+	// simulated device with its own kernel context and weight snapshot.
+	Replicas int
+	// QueueCap bounds the admission queue (default 4096 in-flight queries);
+	// a full queue applies backpressure to Submit.
+	QueueCap int
+	// Cache, when non-nil, is the embedding cache the preprocessing K/T
+	// subtasks consult; resident vertices skip the modeled miss-only
+	// scatter every replica pays for its batches.
+	Cache *cache.Cache
+}
+
+// DefaultConfig returns the serving defaults (≤512 dsts or 2ms).
+func DefaultConfig() Config {
+	return Config{MaxBatch: 512, MaxDelay: 2 * time.Millisecond, Replicas: 1, QueueCap: 4096}
+}
+
+// ErrClosed is returned for queries submitted to (or pending in) a closed
+// server.
+var ErrClosed = errors.New("serve: server closed")
+
+// Ticket is one in-flight query. Tickets are pooled: Wait recycles the
+// ticket, so it must not be used afterwards.
+type Ticket struct {
+	srv  *Server
+	dsts []graph.VID // retained copy of the query's dst vertices
+	out  []float32   // caller's logit buffer: len(dsts) × OutDim rows
+	enq  time.Time
+	done chan error // buffered 1, retained across checkouts
+}
+
+// Wait blocks until the query's logits have been scattered into the buffer
+// passed to Submit, then recycles the ticket.
+func (tk *Ticket) Wait() error {
+	err := <-tk.done
+	srv := tk.srv
+	tk.srv, tk.out = nil, nil
+	tk.dsts = tk.dsts[:0]
+	srv.tickets.Put(tk)
+	return err
+}
+
+// microBatch is one coalesced unit of work: the deduplicated union of its
+// tickets' dst vertices plus the dst→row directory the scatter uses.
+// Micro-batches are pooled; every field is rebuilt per checkout.
+type microBatch struct {
+	dsts    []graph.VID
+	index   map[graph.VID]int32
+	tickets []*Ticket
+}
+
+// Server coalesces inference requests and drains them over its replicas.
+type Server struct {
+	tr     *frameworks.Trainer
+	cfg    Config
+	outDim int
+
+	// sched is the replicas' shared host-only preprocessing engine: its
+	// persistent sampler and subtask workers serve concurrent PrepareSlot
+	// calls, one per replica draining a batch.
+	sched    *pipeline.Scheduler
+	replicas []*replica
+
+	in          chan *Ticket
+	batches     chan *microBatch
+	stop        chan struct{}
+	closed      sync.Once
+	schedClosed sync.Once
+	wg          sync.WaitGroup
+
+	// closeMu fences admission against Close: Submit holds the read side
+	// across its queue send, so once Close flips closing (under the write
+	// side) and signals stop, no new ticket can slip into the queue — the
+	// admission loop's final drain serves everything that made it in, and
+	// nothing is ever stranded.
+	closeMu sync.RWMutex
+	closing bool
+
+	tickets sync.Pool
+	mbs     sync.Pool
+
+	mu       sync.Mutex
+	lat      []time.Duration // ring of the latWindow most recent latencies
+	latPos   int             // next overwrite index once the ring is full
+	queries  int
+	served   int // batches completed
+	dsts     int // coalesced dsts over all served batches
+	firstEnq time.Time
+	lastDone time.Time
+}
+
+// latWindow bounds the retained latency history: Stats and Latencies
+// report over the most recent latWindow completed queries, so a long-lived
+// server's memory (and its Stats sort) stays constant under sustained
+// traffic.
+const latWindow = 1 << 16
+
+// NewServer builds a serving engine over a trainer's dataset and trained
+// weights and starts its admission loop and replicas. The trainer is only
+// read (weight snapshots, sampler/format configuration); it can keep
+// training between servers, but not concurrently with one.
+func NewServer(tr *frameworks.Trainer, cfg Config) (*Server, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 512
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 4096
+	}
+	s := &Server{
+		tr:      tr,
+		cfg:     cfg,
+		outDim:  tr.OutDim(),
+		in:      make(chan *Ticket, cfg.QueueCap),
+		batches: make(chan *microBatch, 2*cfg.Replicas),
+		stop:    make(chan struct{}),
+	}
+
+	pcfg := pipeline.DefaultConfig()
+	pcfg.Sampler = tr.SamplerConfig()
+	pcfg.Format = tr.Format()
+	pcfg.Pinned = tr.Pinned()
+	pcfg.HostOnly = true // each replica pays its own miss-only scatter
+	pcfg.Cache = cfg.Cache
+	s.sched = pipeline.NewScheduler(tr.Dataset.Graph, tr.Dataset.Features, tr.Dataset.Labels,
+		nil, pcfg)
+
+	for i := 0; i < cfg.Replicas; i++ {
+		r, err := newReplica(s, i)
+		if err != nil {
+			close(s.stop)
+			return nil, err
+		}
+		s.replicas = append(s.replicas, r)
+	}
+
+	s.wg.Add(1 + len(s.replicas))
+	go s.coalesce()
+	for _, r := range s.replicas {
+		go r.drain()
+	}
+	return s, nil
+}
+
+// OutDim returns the logit row width a query scatters back per dst.
+func (s *Server) OutDim() int { return s.outDim }
+
+// Replicas returns the replica count.
+func (s *Server) Replicas() int { return len(s.replicas) }
+
+// Submit enqueues one query — a set of dst vertices — and returns its
+// ticket. out receives the per-dst logit rows (len(dsts)·OutDim values,
+// row i belonging to dsts[i]) before the ticket completes; dsts is copied
+// and may be reused immediately. A full admission queue blocks (that is the
+// engine's backpressure).
+func (s *Server) Submit(dsts []graph.VID, out []float32) (*Ticket, error) {
+	if len(out) < len(dsts)*s.outDim {
+		return nil, errors.New("serve: logit buffer smaller than len(dsts) x OutDim")
+	}
+	tk, _ := s.tickets.Get().(*Ticket)
+	if tk == nil {
+		tk = &Ticket{done: make(chan error, 1)}
+	}
+	tk.srv = s
+	tk.dsts = append(tk.dsts[:0], dsts...)
+	tk.out = out
+	tk.enq = time.Now()
+	s.closeMu.RLock()
+	if s.closing {
+		s.closeMu.RUnlock()
+		tk.srv, tk.out = nil, nil
+		s.tickets.Put(tk)
+		return nil, ErrClosed
+	}
+	s.in <- tk
+	s.closeMu.RUnlock()
+	return tk, nil
+}
+
+// Query is a blocking Submit + Wait.
+func (s *Server) Query(dsts []graph.VID, out []float32) error {
+	tk, err := s.Submit(dsts, out)
+	if err != nil {
+		return err
+	}
+	return tk.Wait()
+}
+
+// coalesce is the admission loop: it accumulates queries into the current
+// micro-batch and cuts it when the batch reaches MaxBatch distinct dsts or
+// MaxDelay after its first query, whichever comes first.
+func (s *Server) coalesce() {
+	defer s.wg.Done()
+	defer close(s.batches)
+	timer := time.NewTimer(time.Hour)
+	stopTimer := func() {
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+	stopTimer()
+	var cur *microBatch
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		s.batches <- cur
+		cur = nil
+	}
+	for {
+		if cur == nil {
+			select {
+			case tk := <-s.in:
+				cur = s.admit(cur, tk)
+				if len(cur.dsts) >= s.cfg.MaxBatch {
+					flush()
+				} else {
+					timer.Reset(s.cfg.MaxDelay)
+				}
+			case <-s.stop:
+				s.drainClosing(&cur, flush)
+				return
+			}
+			continue
+		}
+		select {
+		case tk := <-s.in:
+			cur = s.admit(cur, tk)
+			if len(cur.dsts) >= s.cfg.MaxBatch {
+				stopTimer()
+				flush()
+			}
+		case <-timer.C:
+			flush()
+		case <-s.stop:
+			stopTimer()
+			s.drainClosing(&cur, flush)
+			return
+		}
+	}
+}
+
+// admit folds one ticket into the current micro-batch, deduplicating dsts
+// across queries (two queries asking for the same vertex share its row).
+func (s *Server) admit(cur *microBatch, tk *Ticket) *microBatch {
+	if cur == nil {
+		cur, _ = s.mbs.Get().(*microBatch)
+		if cur == nil {
+			cur = &microBatch{index: make(map[graph.VID]int32)}
+		}
+	}
+	s.mu.Lock()
+	if s.firstEnq.IsZero() {
+		s.firstEnq = tk.enq
+	}
+	s.mu.Unlock()
+	for _, d := range tk.dsts {
+		if _, ok := cur.index[d]; !ok {
+			cur.index[d] = int32(len(cur.dsts))
+			cur.dsts = append(cur.dsts, d)
+		}
+	}
+	cur.tickets = append(cur.tickets, tk)
+	return cur
+}
+
+// drainClosing serves every query that made it into the queue before Close
+// flipped admission off (no ticket is ever stranded — Close is a graceful
+// drain), cutting at MaxBatch as usual.
+func (s *Server) drainClosing(cur **microBatch, flush func()) {
+	for {
+		select {
+		case tk := <-s.in:
+			*cur = s.admit(*cur, tk)
+			if len((*cur).dsts) >= s.cfg.MaxBatch {
+				flush()
+			}
+		default:
+			flush()
+			return
+		}
+	}
+}
+
+// putBatch resets a served micro-batch into the pool.
+func (s *Server) putBatch(mb *microBatch) {
+	for _, d := range mb.dsts {
+		delete(mb.index, d)
+	}
+	mb.dsts = mb.dsts[:0]
+	for i := range mb.tickets {
+		mb.tickets[i] = nil
+	}
+	mb.tickets = mb.tickets[:0]
+	s.mbs.Put(mb)
+}
+
+// complete records a served batch's latencies and signals its tickets.
+// Tickets are not touched after their done send — Wait recycles them.
+func (s *Server) complete(mb *microBatch, now time.Time, err error) {
+	s.mu.Lock()
+	for _, tk := range mb.tickets {
+		if len(s.lat) < latWindow {
+			s.lat = append(s.lat, now.Sub(tk.enq))
+		} else {
+			s.lat[s.latPos] = now.Sub(tk.enq)
+			s.latPos = (s.latPos + 1) % latWindow
+		}
+	}
+	s.queries += len(mb.tickets)
+	s.served++
+	s.dsts += len(mb.dsts)
+	if now.After(s.lastDone) {
+		s.lastDone = now
+	}
+	s.mu.Unlock()
+	for _, tk := range mb.tickets {
+		tk.done <- err
+	}
+	s.putBatch(mb)
+}
+
+// Close stops admission (subsequent Submits fail with ErrClosed), serves
+// everything already queued, waits for the admission loop and replicas to
+// exit, and retires the preprocessing scheduler's worker set (a process
+// cycling servers leaks nothing). Idempotent.
+func (s *Server) Close() {
+	s.closed.Do(func() {
+		s.closeMu.Lock()
+		s.closing = true
+		s.closeMu.Unlock()
+		close(s.stop)
+	})
+	s.wg.Wait()
+	s.schedClosed.Do(s.sched.Close)
+}
+
+// Stats is the serving engine's throughput/latency report, in the
+// GroupStats style of the data-parallel engine.
+type Stats struct {
+	Replicas int
+	// Queries and Batches count completed work; CoalescedDsts/Batches is
+	// the mean micro-batch size the admission policy achieved.
+	Queries, Batches int
+	MeanBatch        float64
+	// Throughput is completed queries per second of wall time between the
+	// first admission and the last completion.
+	Throughput float64
+	// Latency summarizes end-to-end query latencies (admission → scatter)
+	// over the most recent latWindow queries.
+	Latency metrics.LatencySummary
+	// CacheHitRate is the embedding cache's cumulative hit rate (0 without
+	// a cache).
+	CacheHitRate float64
+}
+
+// Stats snapshots the server's cumulative report.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{Replicas: len(s.replicas), Queries: s.queries, Batches: s.served}
+	if s.served > 0 {
+		st.MeanBatch = float64(s.dsts) / float64(s.served)
+	}
+	if wall := s.lastDone.Sub(s.firstEnq); wall > 0 {
+		st.Throughput = float64(s.queries) / wall.Seconds()
+	}
+	lat := append([]time.Duration(nil), s.lat...)
+	s.mu.Unlock()
+	st.Latency = metrics.SummarizeLatencies(lat)
+	st.CacheHitRate = s.cfg.Cache.HitRate()
+	return st
+}
+
+// Latencies returns a copy of the most recent latWindow completed queries'
+// end-to-end latencies (for histograms beyond the Stats quantiles).
+func (s *Server) Latencies() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.lat...)
+}

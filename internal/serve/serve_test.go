@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"graphtensor/internal/cache"
+	"graphtensor/internal/datasets"
+	"graphtensor/internal/frameworks"
+	"graphtensor/internal/graph"
+	"graphtensor/internal/multigpu"
+)
+
+func testDS(t *testing.T) *datasets.Dataset {
+	t.Helper()
+	ds, err := datasets.Generate("products", datasets.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func testTrainer(t *testing.T, kind frameworks.Kind, ds *datasets.Dataset) *frameworks.Trainer {
+	t.Helper()
+	opt := frameworks.DefaultOptions()
+	opt.BatchSize = 40
+	tr, err := frameworks.New(kind, ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move off the random init so the logits exercise trained weights.
+	for i := 0; i < 2; i++ {
+		if _, err := tr.TrainBatch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+// queryLogits runs every query through a server built with cfg and returns
+// one logit buffer per query.
+func queryLogits(t *testing.T, tr *frameworks.Trainer, cfg Config, queries [][]graph.VID) [][]float32 {
+	t.Helper()
+	s, err := NewServer(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	outs := make([][]float32, len(queries))
+	tks := make([]*Ticket, len(queries))
+	for i, q := range queries {
+		outs[i] = make([]float32, len(q)*s.OutDim())
+		tks[i], err = s.Submit(q, outs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tk := range tks {
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return outs
+}
+
+// TestCoalescedLogitsBitwise is the correctness core of the serving engine:
+// for every kernel strategy, a query's logits must be bitwise identical
+// whether it is served alone (per-query micro-batches), coalesced with
+// every other query into one big batch, served by many replicas, or served
+// at a different GOMAXPROCS. Coalescing and replication are pure perf.
+func TestCoalescedLogitsBitwise(t *testing.T) {
+	ds := testDS(t)
+	const nQueries, qSize = 6, 20
+	queries := make([][]graph.VID, nQueries)
+	total := 0
+	for q := range queries {
+		queries[q] = ds.BatchDsts(qSize, uint64(900+q))
+		total += len(queries[q])
+	}
+	// Strategy representatives: Graph-approach, DL-approach, Advisor, NAPA.
+	for _, kind := range []frameworks.Kind{frameworks.DGL, frameworks.PyG, frameworks.GNNAdvisor, frameworks.BaseGT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			tr := testTrainer(t, kind, ds)
+
+			// Serial reference: every query alone in its own micro-batch.
+			serialCfg := DefaultConfig()
+			serialCfg.MaxBatch = 1 // cut after every query
+			serial := queryLogits(t, tr, serialCfg, queries)
+
+			variants := []struct {
+				name string
+				cfg  Config
+				proc int
+			}{
+				{"coalesced", Config{MaxBatch: total, MaxDelay: 200 * time.Millisecond}, 0},
+				{"coalesced-3-replicas", Config{MaxBatch: 2 * qSize, MaxDelay: 200 * time.Millisecond, Replicas: 3}, 0},
+				{"coalesced-1-proc", Config{MaxBatch: total, MaxDelay: 200 * time.Millisecond}, 1},
+				{"coalesced-cached", Config{MaxBatch: total, MaxDelay: 200 * time.Millisecond,
+					Cache: cache.New(ds.NumVertices()/4, cache.Degree, ds.Graph)}, 0},
+			}
+			for _, v := range variants {
+				if v.proc > 0 {
+					prev := runtime.GOMAXPROCS(v.proc)
+					defer runtime.GOMAXPROCS(prev)
+				}
+				got := queryLogits(t, tr, v.cfg, queries)
+				if v.proc > 0 {
+					runtime.GOMAXPROCS(runtime.NumCPU())
+				}
+				for q := range queries {
+					for i, want := range serial[q] {
+						if got[q][i] != want {
+							t.Fatalf("%s: query %d logit %d = %g, serial path %g — coalescing changed numerics",
+								v.name, q, i, got[q][i], want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotMatchesTrainerWeights: replicas bind bitwise copies of the
+// trained model.
+func TestSnapshotMatchesTrainerWeights(t *testing.T) {
+	tr := testTrainer(t, frameworks.BaseGT, testDS(t))
+	m, err := tr.SnapshotModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !multigpu.SameWeights(m, tr.Model) {
+		t.Fatal("snapshot weights differ from the trained model")
+	}
+}
+
+// TestTrainerServeMatchesServer ties the trainer's single-engine Serve fast
+// path to the replica path: the logit rows the server scatters for a query
+// equal the rows Trainer.Serve computes for the same dsts.
+func TestTrainerServeMatchesServer(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	dsts := ds.BatchDsts(30, 77)
+
+	logits, b, err := tr.Serve(dsts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]float32(nil), logits.M.Data...)
+	logits.Free()
+	b.Release()
+
+	got := queryLogits(t, tr, DefaultConfig(), [][]graph.VID{dsts})[0]
+	for i, w := range want {
+		if got[i] != w {
+			t.Fatalf("logit %d: server %g != Trainer.Serve %g", i, got[i], w)
+		}
+	}
+}
+
+// TestConcurrentAdmissionAndDrain is the race guard (run under -race in
+// CI): many client goroutines submit while several replicas drain, with an
+// LFU cache admitting concurrently underneath; every query must complete,
+// with exact aggregate accounting, and the per-replica device memory must
+// return to zero.
+func TestConcurrentAdmissionAndDrain(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	cfg := Config{
+		MaxBatch: 64,
+		MaxDelay: 500 * time.Microsecond,
+		Replicas: 3,
+		Cache:    cache.New(ds.NumVertices()/4, cache.LFU, nil),
+	}
+	s, err := NewServer(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, perClient = 6, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			out := make([]float32, 10*s.OutDim())
+			for q := 0; q < perClient; q++ {
+				dsts := ds.BatchDsts(10, uint64(1_000+c*perClient+q))
+				if err := s.Query(dsts, out); err != nil {
+					errs <- fmt.Errorf("client %d query %d: %w", c, q, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Queries != clients*perClient {
+		t.Fatalf("served %d queries, want %d", st.Queries, clients*perClient)
+	}
+	if st.Batches == 0 || st.Throughput <= 0 {
+		t.Fatalf("empty stats after serving: %+v", st)
+	}
+	s.Close()
+	for i, r := range s.replicas {
+		if used := r.dev.MemInUse(); used != 0 {
+			t.Fatalf("replica %d still holds %d device bytes after Close", i, used)
+		}
+	}
+}
+
+// TestCloseDrainsQueuedQueries: Close is a graceful drain — everything
+// admitted before Close completes with valid logits; Submits after Close
+// fail with ErrClosed.
+func TestCloseDrainsQueuedQueries(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	s, err := NewServer(tr, Config{MaxBatch: 512, MaxDelay: time.Hour}) // deadline never fires
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	tks := make([]*Ticket, n)
+	outs := make([][]float32, n)
+	for i := range tks {
+		dsts := ds.BatchDsts(8, uint64(3_000+i))
+		outs[i] = make([]float32, 8*s.OutDim())
+		tks[i], err = s.Submit(dsts, outs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		for _, tk := range tks {
+			if err := tk.Wait(); err != nil {
+				t.Errorf("queued query failed on Close: %v", err)
+			}
+		}
+		close(done)
+	}()
+	s.Close()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued queries never completed after Close")
+	}
+	if _, err := s.Submit(ds.BatchDsts(4, 1), make([]float32, 4*s.OutDim())); err != ErrClosed {
+		t.Fatalf("Submit after Close returned %v, want ErrClosed", err)
+	}
+}
