@@ -286,6 +286,11 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 	cfg := serve.DefaultConfig()
 	cfg.Replicas = 2
+	// One admission shard pins the historical batch composition (shard
+	// count changes how the 64 outstanding queries coalesce, and with it
+	// the per-batch fixed allocs this snapshot ratchets); the sharded
+	// front end is measured by BenchmarkServeContention.
+	cfg.Shards = 1
 	cfg.MaxDelay = 500 * time.Microsecond
 	cfg.Cache = cache.New(ds.NumVertices()/10, cache.Degree, ds.Graph)
 	srv, err := serve.NewServer(tr, cfg)
@@ -319,6 +324,60 @@ func BenchmarkServeThroughput(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(queries*b.N)/time.Since(start).Seconds(), "queries/sec")
+}
+
+// BenchmarkServeContention stresses the admission front end: 256
+// outstanding 4-dst queries per op — small batches, so fixed per-query
+// admission cost dominates — submitted in bulk through SubmitMany and
+// routed over the sharded admission path (one shard per replica). With a
+// single coalescing goroutine and a mutex-guarded stats path this workload
+// serialized on admission; sharded admission + lock-free stats should let
+// throughput scale with the replica count.
+func BenchmarkServeContention(b *testing.B) {
+	ds, err := datasets.Generate("products", datasets.DefaultScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := frameworks.New(frameworks.PreproGT, ds, frameworks.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const queries, querySize = 256, 4
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			cfg := serve.DefaultConfig()
+			cfg.Replicas = replicas
+			cfg.MaxBatch = 64
+			cfg.MaxDelay = 200 * time.Microsecond
+			cfg.Cache = cache.New(ds.NumVertices()/10, cache.Degree, ds.Graph)
+			srv, err := serve.NewServer(tr, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			dsts := make([][]graph.VID, queries)
+			outs := make([][]float32, queries)
+			for q := range dsts {
+				dsts[q] = ds.BatchDsts(querySize, uint64(q+1))
+				outs[q] = make([]float32, querySize*srv.OutDim())
+			}
+			tks := make([]*serve.Ticket, queries)
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if err := srv.SubmitMany(dsts, outs, tks); err != nil {
+					b.Fatal(err)
+				}
+				for _, tk := range tks {
+					if err := tk.Wait(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(queries*b.N)/time.Since(start).Seconds(), "queries/sec")
+		})
+	}
 }
 
 // BenchmarkTrainEpoch is the steady-state end-to-end benchmark: 8 batches

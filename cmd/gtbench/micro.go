@@ -21,7 +21,7 @@ import (
 
 // defaultMicroBench selects the substrate hot paths (not the full
 // paper-figure regenerations, which dominate wall time).
-const defaultMicroBench = "BenchmarkMatMul$|BenchmarkMatMulParallel$|BenchmarkNAPAForward|BenchmarkGraphApproachForwardNGCF$|BenchmarkDLApproachForwardNGCF$|BenchmarkCOOToCSR$|BenchmarkNeighborSampling$|BenchmarkPrepareBatch$|BenchmarkServeQuery$|BenchmarkServeThroughput$|BenchmarkTrainBatchPreproGT$|BenchmarkTrainEpoch$|BenchmarkMultiGPUTrainBatch$"
+const defaultMicroBench = "BenchmarkMatMul$|BenchmarkMatMulParallel$|BenchmarkNAPAForward|BenchmarkGraphApproachForwardNGCF$|BenchmarkDLApproachForwardNGCF$|BenchmarkCOOToCSR$|BenchmarkNeighborSampling$|BenchmarkPrepareBatch$|BenchmarkServeQuery$|BenchmarkServeThroughput$|BenchmarkServeContention$|BenchmarkTrainBatchPreproGT$|BenchmarkTrainEpoch$|BenchmarkMultiGPUTrainBatch$|BenchmarkCountResident$"
 
 // benchResult is one benchmark's aggregated samples.
 type benchResult struct {
@@ -55,8 +55,11 @@ func runMicro(benchRe string, count int, outPath string) error {
 	if _, err := os.Stat("go.mod"); err != nil {
 		return fmt.Errorf("gtbench -micro must run from the repository root (go.mod not found): %w", err)
 	}
+	// The module root holds the end-to-end benchmarks; internal/cache holds
+	// the epoch-snapshot read path whose zero-alloc floor the snapshot
+	// ratchets.
 	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem",
-		"-count", strconv.Itoa(count), "."}
+		"-count", strconv.Itoa(count), ".", "./internal/cache"}
 	fmt.Fprintf(os.Stderr, "gtbench: go %v\n", args)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr

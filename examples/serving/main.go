@@ -1,7 +1,9 @@
 // Serving: train a GCN, then serve inference traffic through the
-// concurrent serving engine — request coalescing under a size/deadline
-// policy, replicated FWP-only inference, and a PaGraph-style embedding
-// cache — and report throughput, the latency histogram and accuracy.
+// concurrent serving engine — sharded admission with request coalescing
+// under a size/deadline policy, replicated FWP-only inference with
+// batch-granularity work stealing, and a PaGraph-style embedding cache —
+// and report throughput, the per-shard breakdown, the latency histogram
+// and accuracy.
 //
 //	go run ./examples/serving
 package main
@@ -40,10 +42,12 @@ func main() {
 	}
 
 	// Serve inference: 2 replicas drain coalesced micro-batches (≤256 dsts
-	// or 2ms), with the top-degree 10% of vertices cache-resident.
+	// or 2ms) routed over 4 admission shards, with the top-degree 10% of
+	// vertices cache-resident.
 	cfg := serve.DefaultConfig()
 	cfg.MaxBatch = 256
 	cfg.Replicas = 2
+	cfg.Shards = 4
 	cfg.Cache = cache.New(ds.NumVertices()/10, cache.Degree, ds.Graph)
 	srv, err := serve.NewServer(tr, cfg)
 	if err != nil {
@@ -51,18 +55,19 @@ func main() {
 	}
 
 	const queries, querySize = 200, 20
-	fmt.Printf("\nserving %d queries of %d vertices (%d replicas, cache %d vertices):\n",
-		queries, querySize, cfg.Replicas, cfg.Cache.Capacity())
+	fmt.Printf("\nserving %d queries of %d vertices (%d replicas, %d shards, cache %d vertices):\n",
+		queries, querySize, cfg.Replicas, cfg.Shards, cfg.Cache.Capacity())
 	outs := make([][]float32, queries)
 	tickets := make([]*serve.Ticket, queries)
 	dsts := make([][]graph.VID, queries)
 	for q := 0; q < queries; q++ {
 		dsts[q] = ds.BatchDsts(querySize, uint64(10_000+q))
 		outs[q] = make([]float32, querySize*srv.OutDim())
-		tickets[q], err = srv.Submit(dsts[q], outs[q])
-		if err != nil {
-			panic(err)
-		}
+	}
+	// Bulk submission: tickets chain per admission shard, one channel hop
+	// per shard instead of one per query.
+	if err := srv.SubmitMany(dsts, outs, tickets); err != nil {
+		panic(err)
 	}
 	for _, tk := range tickets {
 		if err := tk.Wait(); err != nil {
@@ -95,6 +100,10 @@ func main() {
 
 	fmt.Printf("  %d queries in %d coalesced batches (mean %.1f dsts/batch)\n",
 		st.Queries, st.Batches, st.MeanBatch)
+	for i, ss := range st.PerShard {
+		fmt.Printf("    shard %d: %3d queries in %2d batches (mean %5.1f dsts/batch), %d stolen\n",
+			i, ss.Queries, ss.Batches, ss.MeanBatch, ss.Stolen)
+	}
 	fmt.Printf("  throughput %.0f queries/s, cache hit rate %.1f%%, accuracy %.3f\n",
 		st.Throughput, 100*st.CacheHitRate, float64(correct)/float64(total))
 	fmt.Printf("  latency p50 %v  p90 %v  p99 %v  max %v\n",

@@ -8,15 +8,19 @@
 // the hit rate, letting the benchmark harness show where caching helps and
 // where it does not.
 //
-// Concurrency: the resident set is sharded by a multiplicative VID hash, so
-// concurrent preprocessing pipelines (the serving engine's replicas) never
-// contend on one global lock. The Degree policy's resident set is immutable
-// after construction and is read lock-free; LFU admission takes only the
-// touched vertex's shard lock and is O(1) amortized — a candidate displaces
-// the least-frequent resident only once its own frequency exceeds the
-// shard's cached frequency floor, so the per-lookup full-sort rebalance of
-// the original implementation is gone. The cache only ever changes modeled
-// preprocessing cost, never batch contents.
+// Concurrency: residency is read from an immutable epoch snapshot published
+// RCU-style through an atomic pointer, so the request path (CountResident,
+// the K/T subtasks of every serving replica) takes zero locks and performs
+// zero allocations — readers load one pointer and probe a map that is never
+// written again. LFU requests are recorded into per-shard lock-free touch
+// tables (open-addressed slots claimed by CAS, counted by atomic adds,
+// lossy under extreme pressure — admission is a heuristic, the hit/miss
+// accounting stays exact); the writer side folds the buffered touches into
+// its private frequency/residency state every foldEvery requests and, only
+// when membership actually changed, publishes a fresh snapshot. Retired
+// snapshots are reclaimed by the garbage collector, which is the RCU grace
+// period. The cache only ever changes modeled preprocessing cost, never
+// batch contents.
 package cache
 
 import (
@@ -32,27 +36,51 @@ type Policy int
 
 const (
 	// Degree admits the highest-degree vertices (the PaGraph heuristic:
-	// hubs are sampled most often).
+	// hubs are sampled most often). The resident set is fixed at
+	// construction, so its snapshot is published once and never replaced.
 	Degree Policy = iota
-	// LFU admits the most-frequently-requested vertices, learned online.
+	// LFU admits the most-frequently-requested vertices, learned online
+	// from the buffered touch stream.
 	LFU
 )
 
-// maxShards bounds the resident-set sharding. Shard count is chosen so each
-// shard holds a meaningful slice of the capacity (small caches degrade to
-// one shard, the exact semantics of the unsharded implementation).
+// maxShards bounds the writer-side sharding of the LFU state. Shard count
+// is chosen so each shard holds a meaningful slice of the capacity (small
+// caches degrade to one shard, the exact semantics of the unsharded
+// implementation).
 const maxShards = 32
 
-// shard is one lock domain of the resident set.
+// touchProbes is the linear-probe window of the lossy touch tables: a
+// request that cannot claim or find its vertex within touchProbes slots is
+// dropped (the admission heuristic tolerates sampling; exact counters do
+// not ride the tables).
+const touchProbes = 8
+
+// residency is one immutable epoch snapshot of the resident set. The map is
+// fully built before the snapshot pointer is published and never mutated
+// afterwards, so readers probe it without synchronization.
+type residency struct {
+	set map[graph.VID]struct{}
+}
+
+// shard is one writer-side lock domain of the LFU state plus its lock-free
+// touch table. The resident/freq maps and floor are only touched under the
+// cache's fold mutex; the touch table is written by readers and drained by
+// the folder.
 type shard struct {
-	mu       sync.Mutex
 	capacity int
 	resident map[graph.VID]struct{}
-	// LFU state: request frequencies plus a lower bound on the smallest
-	// resident frequency. A candidate at or below the floor cannot displace
-	// anything, so the common no-admission path never scans.
+	// freq holds request frequencies; floor caches a lower bound on the
+	// smallest resident frequency, so the overwhelmingly common "candidate
+	// cannot win" case is a single comparison during the fold.
 	freq  map[graph.VID]int
 	floor int
+
+	// Lossy touch table: tvid slots hold vid+1 (0 = free) claimed by CAS,
+	// tcnt the pending request count folded into freq on the next epoch.
+	tvid  []atomic.Uint64
+	tcnt  []atomic.Int64
+	tmask uint64
 }
 
 // Cache holds a fixed set of vertices' embeddings device-resident.
@@ -61,6 +89,15 @@ type Cache struct {
 	policy   Policy
 	mask     uint64
 	shards   []shard
+
+	// snap is the published residency epoch readers probe lock-free.
+	snap atomic.Pointer[residency]
+	// pending counts requests recorded since the last fold; crossing
+	// foldEvery triggers the next epoch (TryLock: one folder at a time,
+	// readers never wait on it).
+	pending   atomic.Int64
+	foldEvery int64
+	foldMu    sync.Mutex
 
 	hits, misses atomic.Int64
 }
@@ -84,23 +121,44 @@ func New(capacity int, policy Policy, full *graph.CSR) *Cache {
 		if i < rem {
 			sh.capacity++
 		}
-		sh.resident = make(map[graph.VID]struct{}, sh.capacity)
 		if policy == LFU {
+			sh.resident = make(map[graph.VID]struct{}, sh.capacity)
 			sh.freq = map[graph.VID]int{}
+			// Touch tables sized ~4× the shard capacity (min 64 slots) so
+			// the hot working set stays claimed between folds.
+			ts := 64
+			for ts < 4*sh.capacity && ts < 8192 {
+				ts *= 2
+			}
+			sh.tvid = make([]atomic.Uint64, ts)
+			sh.tcnt = make([]atomic.Int64, ts)
+			sh.tmask = uint64(ts - 1)
 		}
 	}
-	if policy == Degree && full != nil {
-		c.preloadByDegree(full)
+	// An epoch folds at least every ~4 capacities' worth of requests (min
+	// 1024): frequent enough that admission tracks the workload, rare
+	// enough that the fold's work amortizes to ~zero per request.
+	c.foldEvery = int64(4 * capacity)
+	if c.foldEvery < 1024 {
+		c.foldEvery = 1024
 	}
+	set := make(map[graph.VID]struct{}, capacity)
+	if policy == Degree && full != nil {
+		preloadByDegree(set, capacity, full)
+	}
+	c.snap.Store(&residency{set: set})
 	return c
 }
 
-// shardOf maps a vertex to its lock domain.
+// shardOf maps a vertex to its writer-side lock domain.
 func (c *Cache) shardOf(v graph.VID) *shard {
 	return &c.shards[(uint64(v)*0x9e3779b97f4a7c15>>33)&c.mask]
 }
 
-func (c *Cache) preloadByDegree(full *graph.CSR) {
+// preloadByDegree fills set with the global top-capacity vertices by
+// in-degree. The Degree resident set is immutable afterwards, so its one
+// published snapshot serves every read for the cache's lifetime.
+func preloadByDegree(set map[graph.VID]struct{}, capacity int, full *graph.CSR) {
 	type vd struct {
 		v graph.VID
 		d int
@@ -110,87 +168,127 @@ func (c *Cache) preloadByDegree(full *graph.CSR) {
 		vs[v] = vd{graph.VID(v), full.Degree(graph.VID(v))}
 	}
 	sort.Slice(vs, func(i, j int) bool { return vs[i].d > vs[j].d })
-	n := c.capacity
+	n := capacity
 	if n > len(vs) {
 		n = len(vs)
 	}
-	// The Degree resident set is the global top-capacity by in-degree —
-	// sharding only spreads it across lock domains, it never changes
-	// membership (and the set is immutable afterwards, so reads skip the
-	// shard locks entirely).
 	for i := 0; i < n; i++ {
-		c.shardOf(vs[i].v).resident[vs[i].v] = struct{}{}
+		set[vs[i].v] = struct{}{}
 	}
 }
 
 // Capacity returns the configured resident-set capacity.
 func (c *Cache) Capacity() int { return c.capacity }
 
-// Resident reports whether vertex v is cache-resident.
+// Resident reports whether vertex v is resident in the current epoch.
 func (c *Cache) Resident(v graph.VID) bool {
-	sh := c.shardOf(v)
-	if c.policy == Degree {
-		_, ok := sh.resident[v]
-		return ok
-	}
-	sh.mu.Lock()
-	_, ok := sh.resident[v]
-	sh.mu.Unlock()
+	_, ok := c.snap.Load().set[v]
 	return ok
 }
 
 // CountResident records one request for every vertex in vids and returns
-// how many were cache-resident (hits skip the embedding gather and the
-// modeled host→device transfer) and how many were not. It is the
-// allocation-free request path of the preprocessing K/T subtasks and is
-// safe for concurrent use; for the LFU policy it also performs incremental
-// admission. A nil cache counts everything as a miss.
+// how many were resident in the current epoch (hits skip the embedding
+// gather and the modeled host→device transfer) and how many were not. It is
+// the allocation-free, lock-free request path of the preprocessing K/T
+// subtasks: residency is probed on one immutable snapshot, LFU touches go
+// to the lock-free per-shard tables, and at most one caller per epoch folds
+// them (TryLock — concurrent readers never wait). A nil cache counts
+// everything as a miss.
 func (c *Cache) CountResident(vids []graph.VID) (hits, misses int) {
 	if c == nil {
 		return 0, len(vids)
 	}
-	if c.policy == Degree {
-		for _, v := range vids {
-			if _, ok := c.shardOf(v).resident[v]; ok {
-				hits++
-			}
-		}
-	} else {
-		for _, v := range vids {
-			sh := c.shardOf(v)
-			sh.mu.Lock()
-			if sh.touch(v) {
-				hits++
-			}
-			sh.mu.Unlock()
+	set := c.snap.Load().set
+	for _, v := range vids {
+		if _, ok := set[v]; ok {
+			hits++
 		}
 	}
 	misses = len(vids) - hits
 	c.hits.Add(int64(hits))
 	c.misses.Add(int64(misses))
+	if c.policy == LFU && c.capacity > 0 {
+		for _, v := range vids {
+			c.shardOf(v).record(v)
+		}
+		if c.pending.Add(int64(len(vids))) >= c.foldEvery && c.foldMu.TryLock() {
+			c.pending.Store(0)
+			c.foldLocked()
+			c.foldMu.Unlock()
+		}
+	}
 	return hits, misses
 }
 
-// touch records one LFU request for v and reports whether v was resident
-// when the request arrived. Admission is incremental: v joins while the
-// shard has spare capacity, and afterwards displaces the least-frequent
-// resident only once its own frequency exceeds that resident's. The floor
-// field caches the last exactly-computed minimum as a lower bound, so the
-// overwhelmingly common "no displacement possible" case is a single
-// comparison; the O(capacity) scan runs only when a candidate might win.
-// The caller holds the shard lock.
-func (sh *shard) touch(v graph.VID) bool {
-	f := sh.freq[v] + 1
+// record buffers one touch of v into the shard's lossy table: find or claim
+// an open-addressed slot within the probe window and bump its counter. A
+// full neighborhood drops the touch — frequencies are an admission
+// heuristic, and the folder reclaims cold slots every epoch.
+func (sh *shard) record(v graph.VID) {
+	tagged := uint64(uint32(v)) + 1
+	h := (uint64(uint32(v)) * 0x9e3779b97f4a7c15) >> 32
+	for i := uint64(0); i < touchProbes; i++ {
+		slot := (h + i) & sh.tmask
+		got := sh.tvid[slot].Load()
+		if got == 0 && sh.tvid[slot].CompareAndSwap(0, tagged) {
+			got = tagged
+		} else if got == 0 {
+			got = sh.tvid[slot].Load()
+		}
+		if got == tagged {
+			sh.tcnt[slot].Add(1)
+			return
+		}
+	}
+}
+
+// foldLocked drains every shard's touch table into the writer-side LFU
+// state and, if residency membership changed, publishes the next epoch
+// snapshot. Called with foldMu held. Cold slots (no touches this epoch) are
+// reclaimed so the tables track the current working set.
+func (c *Cache) foldLocked() {
+	changed := false
+	for i := range c.shards {
+		sh := &c.shards[i]
+		for s := range sh.tvid {
+			tv := sh.tvid[s].Load()
+			if tv == 0 {
+				continue
+			}
+			n := sh.tcnt[s].Swap(0)
+			if n == 0 {
+				sh.tvid[s].Store(0)
+				continue
+			}
+			if sh.apply(graph.VID(uint32(tv-1)), int(n)) {
+				changed = true
+			}
+		}
+	}
+	if changed {
+		c.publishLocked()
+	}
+}
+
+// apply folds n buffered requests for v into the shard's LFU state and
+// reports whether residency membership changed. Admission is incremental: v
+// joins while the shard has spare capacity, and afterwards displaces the
+// least-frequent resident only once its own frequency exceeds that
+// resident's. The floor caches the last exactly-computed minimum as a lower
+// bound, so the common "no displacement possible" case is one comparison;
+// the O(capacity) scan runs only when a candidate might win.
+func (sh *shard) apply(v graph.VID, n int) bool {
+	f := sh.freq[v] + n
 	sh.freq[v] = f
 	if _, ok := sh.resident[v]; ok {
-		return true
+		return false
 	}
 	if sh.capacity == 0 {
 		return false
 	}
 	if len(sh.resident) < sh.capacity {
 		sh.resident[v] = struct{}{}
-		return false
+		return true
 	}
 	if f <= sh.floor {
 		return false
@@ -208,34 +306,58 @@ func (sh *shard) touch(v graph.VID) bool {
 	if f > minF {
 		delete(sh.resident, minV)
 		sh.resident[v] = struct{}{}
+		return true
 	}
 	return false
 }
 
-// Partition splits a vertex request list into the cache hits (already
-// device-resident, no transfer needed) and misses (must be gathered and
-// transferred). It records hit/miss statistics and, for the LFU policy,
-// updates admission. Hot paths that only need counts should use the
-// allocation-free CountResident instead.
-func (c *Cache) Partition(vids []graph.VID) (hits, misses []graph.VID) {
-	for _, v := range vids {
-		sh := c.shardOf(v)
-		var ok bool
-		if c.policy == Degree {
-			_, ok = sh.resident[v]
-		} else {
-			sh.mu.Lock()
-			ok = sh.touch(v)
-			sh.mu.Unlock()
+// publishLocked builds the next immutable residency snapshot from the
+// shards' writer-side state and publishes it. The previous snapshot is
+// dropped for the GC to reclaim once the last in-flight reader moves on —
+// the RCU grace period. Called with foldMu held.
+func (c *Cache) publishLocked() {
+	set := make(map[graph.VID]struct{}, c.capacity)
+	for i := range c.shards {
+		for v := range c.shards[i].resident {
+			set[v] = struct{}{}
 		}
-		if ok {
+	}
+	c.snap.Store(&residency{set: set})
+}
+
+// fold synchronously folds buffered touches and publishes any membership
+// change — the non-hot-path entry Partition uses so single-threaded callers
+// observe admission immediately.
+func (c *Cache) fold() {
+	if c.policy != LFU || c.capacity == 0 {
+		return
+	}
+	c.foldMu.Lock()
+	c.pending.Store(0)
+	c.foldLocked()
+	c.foldMu.Unlock()
+}
+
+// Partition splits a vertex request list into the cache hits (resident in
+// the current epoch, no transfer needed) and misses (must be gathered and
+// transferred). It records hit/miss statistics and, for the LFU policy,
+// folds admission synchronously before returning. Hot paths that only need
+// counts should use the allocation-free CountResident instead.
+func (c *Cache) Partition(vids []graph.VID) (hits, misses []graph.VID) {
+	set := c.snap.Load().set
+	for _, v := range vids {
+		if _, ok := set[v]; ok {
 			hits = append(hits, v)
 			c.hits.Add(1)
 		} else {
 			misses = append(misses, v)
 			c.misses.Add(1)
 		}
+		if c.policy == LFU && c.capacity > 0 {
+			c.shardOf(v).record(v)
+		}
 	}
+	c.fold()
 	return hits, misses
 }
 

@@ -144,11 +144,11 @@ func serveAll(tr *frameworks.Trainer, cfg serve.Config, queries [][]graph.VID, a
 	}
 	start := time.Now()
 	if async {
+		// Bulk submission: one channel hop per admission shard instead of
+		// one per query.
 		tks := make([]*serve.Ticket, len(queries))
-		for q := range queries {
-			if tks[q], err = s.Submit(queries[q], outs[q]); err != nil {
-				return nil, nil, 0, err
-			}
+		if err := s.SubmitMany(queries, outs, tks); err != nil {
+			return nil, nil, 0, err
 		}
 		for _, tk := range tks {
 			if err := tk.Wait(); err != nil {

@@ -157,7 +157,7 @@ type Trainer struct {
 	// infer is the retained FWP-only dispatch state of InferBatch: the
 	// layer-graph views and the input header are rebuilt in place per
 	// served batch instead of reallocated.
-	infer inferState
+	infer InferDispatch
 
 	// slots is the trainer's persistent prefetch-slot rotation: every ring
 	// the trainer builds draws from this free-list, so slot storage (arenas
@@ -420,43 +420,54 @@ func (t *Trainer) Compute(b *prep.Batch) (float64, error) {
 	return loss, err
 }
 
-// inferState is the trainer's retained FWP-only dispatch state: the layer
-// graph views, their pointer directory and the input header are rebuilt in
-// place for every served batch instead of reallocated (the GroupDev
-// discipline, applied to inference).
-type inferState struct {
+// InferDispatch is retained FWP-only dispatch state: the layer graph
+// views, their pointer directory and the input header are rebuilt in place
+// for every served batch instead of reallocated (the GroupDev discipline,
+// applied to inference). The trainer's fast path and every serving replica
+// own one; a dispatch serves one inference at a time (replicas never share
+// theirs).
+type InferDispatch struct {
 	graphs []kernels.Graphs
 	gptrs  []*kernels.Graphs
 	input  core.Input
 }
 
-// InferBatch runs forward propagation only — no gradients, no update — on a
-// prepared batch through the trainer's retained inference state and returns
-// the logits (device-held; the caller frees them). Under a device group the
-// canonical replica-0 weights are used. This is the serving fast path: no
-// gradient shards, no label buffers, no backward workspaces ever exist,
-// and with a warm slot feeding PrepareInto a served batch allocates a small
-// constant (BenchmarkServeQuery guards it).
-func (t *Trainer) InferBatch(b *prep.Batch) (*kernels.DeviceMatrix, error) {
-	st := &t.infer
-	if cap(st.graphs) < len(b.Layers) {
-		st.graphs = make([]kernels.Graphs, len(b.Layers))
-		st.gptrs = make([]*kernels.Graphs, len(b.Layers))
-		for i := range st.graphs {
-			st.gptrs[i] = &st.graphs[i]
+// Infer runs forward propagation only — no gradients, no update — for the
+// prepared batch on the given kernel context and model, with x the batch's
+// device-held feature matrix (the caller uploads/wraps it and frees it
+// afterwards, alongside the returned logits). The dispatch state is rebuilt
+// in place, so a warm inference adds no per-batch allocations of its own.
+func (d *InferDispatch) Infer(ctx *kernels.Ctx, m *core.Model, b *prep.Batch, x *kernels.DeviceMatrix) (*kernels.DeviceMatrix, error) {
+	if cap(d.graphs) < len(b.Layers) {
+		d.graphs = make([]kernels.Graphs, len(b.Layers))
+		d.gptrs = make([]*kernels.Graphs, len(b.Layers))
+		for i := range d.graphs {
+			d.gptrs[i] = &d.graphs[i]
 		}
 	}
-	st.graphs = st.graphs[:cap(st.graphs)]
+	d.graphs = d.graphs[:cap(d.graphs)]
 	for i, l := range b.Layers {
-		st.graphs[i] = kernels.Graphs{COO: l.COO, CSR: l.CSR, CSC: l.CSC}
+		d.graphs[i] = kernels.Graphs{COO: l.COO, CSR: l.CSR, CSC: l.CSC}
 	}
+	d.input = core.Input{Graphs: d.gptrs[:len(b.Layers)], X: x, Labels: b.Labels}
+	logits, err := m.Infer(ctx, &d.input)
+	d.input = core.Input{}
+	return logits, err
+}
+
+// InferBatch runs forward propagation only — no gradients, no update — on a
+// prepared batch through the trainer's retained inference dispatch and
+// returns the logits (device-held; the caller frees them). Under a device
+// group the canonical replica-0 weights are used. This is the serving fast
+// path: no gradient shards, no label buffers, no backward workspaces ever
+// exist, and with a warm slot feeding PrepareInto a served batch allocates
+// a small constant (BenchmarkServeQuery guards it).
+func (t *Trainer) InferBatch(b *prep.Batch) (*kernels.DeviceMatrix, error) {
 	x, err := t.Engine.Upload(b.Embed.Data, "serve-x")
 	if err != nil {
 		return nil, err
 	}
-	st.input = core.Input{Graphs: st.gptrs[:len(b.Layers)], X: x, Labels: b.Labels}
-	logits, err := t.Model.Infer(t.Engine.Ctx, &st.input)
-	st.input = core.Input{}
+	logits, err := t.infer.Infer(t.Engine.Ctx, t.Model, b, x)
 	x.Free()
 	t.Engine.Ctx.EndBatch()
 	return logits, err

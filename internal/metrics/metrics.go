@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -209,6 +210,60 @@ func SummarizeLatencies(ds []time.Duration) LatencySummary {
 		return sorted[i]
 	}
 	return LatencySummary{P50: rank(0.50), P90: rank(0.90), P99: rank(0.99), Max: sorted[len(sorted)-1]}
+}
+
+// LatencyRing is a fixed-capacity, lock-free ring of the most recent
+// latency samples. Writers call Record concurrently — the slot is claimed
+// with one atomic add and written with one atomic store, so the serving
+// engine's hot completion path never takes a lock — and readers merge the
+// retained window with Snapshot/AppendTo. Reads race writes by design: a
+// snapshot is a statistical sample of the most recent window, not a
+// linearizable log, which is exactly what quantile reporting needs.
+type LatencyRing struct {
+	slots  []atomic.Int64
+	cursor atomic.Uint64
+}
+
+// NewLatencyRing builds a ring retaining the capacity most recent samples
+// (minimum 1).
+func NewLatencyRing(capacity int) *LatencyRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LatencyRing{slots: make([]atomic.Int64, capacity)}
+}
+
+// Record adds one sample, overwriting the oldest once the ring is full.
+func (r *LatencyRing) Record(d time.Duration) {
+	i := r.cursor.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(int64(d))
+}
+
+// Len returns the number of retained samples (≤ capacity).
+func (r *LatencyRing) Len() int {
+	n := r.cursor.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Cap returns the ring capacity.
+func (r *LatencyRing) Cap() int { return len(r.slots) }
+
+// AppendTo appends the retained window to dst and returns it (merging the
+// per-shard rings of a sharded server into one sample costs one append per
+// ring, no intermediate copies).
+func (r *LatencyRing) AppendTo(dst []time.Duration) []time.Duration {
+	for i, n := 0, r.Len(); i < n; i++ {
+		dst = append(dst, time.Duration(r.slots[i].Load()))
+	}
+	return dst
+}
+
+// Snapshot returns a copy of the retained window.
+func (r *LatencyRing) Snapshot() []time.Duration {
+	return r.AppendTo(make([]time.Duration, 0, r.Len()))
 }
 
 // GeoMean returns the geometric mean of vs (the paper's "on average" for

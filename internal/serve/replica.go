@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"graphtensor/internal/core"
+	"graphtensor/internal/frameworks"
 	"graphtensor/internal/gpusim"
 	"graphtensor/internal/kernels"
 	"graphtensor/internal/pipeline"
@@ -13,13 +14,15 @@ import (
 // replica is one serving replica: the multigpu per-device machinery — a
 // persistent simulated device, its kernel context, a batch-scoped device
 // arena and a weight snapshot — bound to a warm prefetch slot and the
-// retained FWP dispatch state. Replicas drain the server's micro-batch
-// queue concurrently; the kernels they launch and the prep subtasks they
-// trigger all ride the shared sched worker pool, so a replica adds no
+// retained FWP dispatch state. Replicas drain the admission shards'
+// micro-batch queues concurrently (own shard first, stealing whole batches
+// from the others when idle); the kernels they launch and the prep subtasks
+// they trigger all ride the shared sched worker pool, so a replica adds no
 // per-batch goroutines of its own.
 type replica struct {
 	srv   *Server
 	id    int
+	home  *shard // the shard this replica drains first; the rest are steals
 	dev   *gpusim.Device
 	ctx   *kernels.Ctx
 	arena *gpusim.DeviceArena
@@ -31,10 +34,9 @@ type replica struct {
 	// batch allocates a small constant.
 	slot *pipeline.Slot
 
-	// Retained FWP dispatch state (the GroupDev discipline).
-	graphs []kernels.Graphs
-	gptrs  []*kernels.Graphs
-	input  core.Input
+	// infer is the retained FWP dispatch state (the GroupDev discipline):
+	// layer-graph views and the input header rebuilt in place per batch.
+	infer frameworks.InferDispatch
 }
 
 func newReplica(s *Server, id int) (*replica, error) {
@@ -43,29 +45,90 @@ func newReplica(s *Server, id int) (*replica, error) {
 		return nil, err
 	}
 	dev := gpusim.NewDevice(s.tr.Opt.Device)
-	r := &replica{
-		srv:    s,
-		id:     id,
-		dev:    dev,
-		ctx:    kernels.NewCtx(dev),
-		arena:  dev.NewArena(),
-		model:  m,
-		pcie:   dev.PCIe(),
-		slot:   pipeline.NewSlot(),
-		graphs: make([]kernels.Graphs, len(m.Layers)),
-		gptrs:  make([]*kernels.Graphs, len(m.Layers)),
-	}
-	for i := range r.graphs {
-		r.gptrs[i] = &r.graphs[i]
-	}
-	return r, nil
+	return &replica{
+		srv:   s,
+		id:    id,
+		dev:   dev,
+		ctx:   kernels.NewCtx(dev),
+		arena: dev.NewArena(),
+		model: m,
+		pcie:  dev.PCIe(),
+		slot:  pipeline.NewSlot(),
+	}, nil
 }
 
-// drain serves micro-batches until the admission loop closes the queue.
+// drain serves micro-batches until admission has shut down and every queue
+// is empty.
 func (r *replica) drain() {
 	defer r.srv.wg.Done()
-	for mb := range r.srv.batches {
+	for {
+		mb := r.next()
+		if mb == nil {
+			return
+		}
 		r.serveBatch(mb)
+	}
+}
+
+// next returns the next micro-batch to serve: the replica's home shard
+// first, then whole batches stolen from the other shards' queues. Stealing
+// happens strictly at batch granularity — composition was fixed at
+// admission, so a steal moves work between replicas without changing what
+// any query computes (logits stay bitwise identical at any shard and
+// replica count). When no work is ready the replica blocks on its home
+// queue and the shared wake token; nil means the server has fully drained.
+func (r *replica) next() *microBatch {
+	s := r.srv
+	for {
+		if mb := r.poll(); mb != nil {
+			return mb
+		}
+		select {
+		case mb := <-r.home.batches:
+			r.rebaton()
+			return mb
+		case <-s.workReady:
+			// A shard flushed somewhere: re-poll everything.
+		case <-s.admDone:
+			// Admission drained and exited; one final sweep, then done.
+			if mb := r.poll(); mb != nil {
+				return mb
+			}
+			return nil
+		}
+	}
+}
+
+// poll sweeps every shard's batch queue non-blocking, home first, and takes
+// the first ready batch; a steal (a batch from a foreign shard) is counted
+// on the shard it was stolen from.
+func (r *replica) poll() *microBatch {
+	s := r.srv
+	n := len(s.shards)
+	start := r.home.id
+	for i := 0; i < n; i++ {
+		sh := s.shards[(start+i)%n]
+		select {
+		case mb := <-sh.batches:
+			if sh != r.home {
+				sh.stolen.Add(1)
+			}
+			r.rebaton()
+			return mb
+		default:
+		}
+	}
+	return nil
+}
+
+// rebaton re-arms the wake token if batches remain queued anywhere, so the
+// single token keeps waking idle replicas until the queues are dry.
+func (r *replica) rebaton() {
+	for _, sh := range r.srv.shards {
+		if len(sh.batches) > 0 {
+			r.srv.notifyWork()
+			return
+		}
 	}
 }
 
@@ -74,21 +137,24 @@ func (r *replica) drain() {
 // scatter on the replica's own PCIe engine, FWP, and the per-ticket logit
 // scatter.
 func (r *replica) serveBatch(mb *microBatch) {
+	if h := testHookServeBatch; h != nil {
+		h()
+	}
 	s := r.srv
 	b, err := s.sched.PrepareSlot(mb.dsts, nil, r.slot)
 	if err != nil {
 		s.complete(mb, time.Now(), err)
 		return
 	}
-	err = r.infer(b, mb)
+	err = r.inferBatch(b, mb)
 	b.Release()
 	r.slot.Recycle(b)
 	s.complete(mb, time.Now(), err)
 }
 
-// infer pays the batch's transfer, runs FWP on the replica's snapshot and
-// scatters each ticket's logit rows into its caller-owned buffer.
-func (r *replica) infer(b *prep.Batch, mb *microBatch) error {
+// inferBatch pays the batch's transfer, runs FWP on the replica's snapshot
+// and scatters each ticket's logit rows into its caller-owned buffer.
+func (r *replica) inferBatch(b *prep.Batch, mb *microBatch) error {
 	// The batch staged host-only; this replica pays the host→device scatter
 	// for it — cache-resident embedding rows cross the link for free, the
 	// PaGraph discipline (§VII [38]).
@@ -99,12 +165,7 @@ func (r *replica) infer(b *prep.Batch, mb *microBatch) error {
 	if err != nil {
 		return err
 	}
-	for i, l := range b.Layers {
-		r.graphs[i] = kernels.Graphs{COO: l.COO, CSR: l.CSR, CSC: l.CSC}
-	}
-	r.input = core.Input{Graphs: r.gptrs[:len(b.Layers)], X: x, Labels: b.Labels}
-	logits, err := r.model.Infer(r.ctx, &r.input)
-	r.input = core.Input{}
+	logits, err := r.infer.Infer(r.ctx, r.model, b, x)
 	link.Flush()
 	if err != nil {
 		x.Free()

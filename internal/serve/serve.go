@@ -5,36 +5,48 @@
 // the paper's pipelined-preprocessing insight (§V-B) plus the repository's
 // arena/slot/worker-pool disciplines to the request path:
 //
-//   - Admission + coalescing: individual node-inference requests enter a
-//     lock-light queue (one channel hop) and are coalesced into micro-
-//     batches under a size/deadline policy (≤ MaxBatch dsts or MaxDelay),
-//     amortizing the per-query fixed costs — sampler setup, layer-chain
-//     translation, kernel launch — across every query in the batch.
-//     Per-request logit rows are scattered back from the batched logits.
+//   - Sharded admission + coalescing: queries route to an admission shard
+//     by a deterministic hash of their dst set (sticky — the path is a pure
+//     function of the query's contents, never of load), so no single
+//     admission goroutine or global lock serializes the front end. Each
+//     shard coalesces its queries into micro-batches under its own
+//     size/deadline policy (≤ MaxBatch dsts or MaxDelay), amortizing the
+//     per-query fixed costs — sampler setup, layer-chain translation,
+//     kernel launch — across every query in the batch. Per-request logit
+//     rows are scattered back from the batched logits.
+//   - Work stealing at batch granularity: each shard feeds its own replica,
+//     and an idle replica steals whole micro-batches from other shards'
+//     queues — batch composition is fixed at admission, so stealing moves
+//     work without ever changing what any query computes.
+//   - Lock-free stats: the hot completion path touches only per-shard
+//     atomic counters and a per-shard lock-free latency ring; the one-shot
+//     first-admission stamp is a CAS. Rings and counters merge only inside
+//     Stats/Latencies.
 //   - Inference fast path: replicas prepare through a shared host-only
 //     pipeline.Scheduler (persistent subtask engine, warm pipeline.Slot per
 //     replica) and run FWP only — no gradient shards, no backward
 //     workspaces — so a warm served batch allocates a small constant.
 //   - Cache-aware prep: an optional PaGraph-style embedding cache
 //     (internal/cache) lets resident vertices skip the modeled host→device
-//     transfer; each replica pays the miss-only scatter on its own PCIe
-//     engine, exactly like the data-parallel group's shard discipline.
+//     transfer; residency reads ride the cache's lock-free epoch snapshot,
+//     and each replica pays the miss-only scatter on its own PCIe engine.
 //   - Replica scaling: N replicas — one simulated device, kernels.Ctx,
 //     device arena and weight snapshot each, the multigpu replica
-//     machinery — drain the micro-batch queue concurrently; their kernel
+//     machinery — drain the micro-batch queues concurrently; their kernel
 //     launches and prep subtasks ride the shared sched worker pool.
 //
 // Coalescing is pure perf: neighbor choice is a deterministic function of
 // (seed, dst), every kernel accumulates per dst row in an order fixed by
 // that dst's own edge list, and replicas pin aggregation-first placement —
 // so a query's logits are bitwise identical whether it is served alone or
-// coalesced with any other queries, at any GOMAXPROCS and replica count
-// (guarded by TestCoalescedLogitsBitwise).
+// coalesced with any other queries, at any GOMAXPROCS, shard count and
+// replica count (guarded by TestCoalescedLogitsBitwise).
 package serve
 
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graphtensor/internal/cache"
@@ -47,7 +59,7 @@ import (
 // Config parameterizes the serving engine.
 type Config struct {
 	// MaxBatch caps the coalesced micro-batch size in distinct dst vertices
-	// (default 512): the admission loop cuts a batch as soon as it fills.
+	// (default 512): an admission shard cuts a batch as soon as it fills.
 	MaxBatch int
 	// MaxDelay is the admission deadline (default 2ms): a non-empty batch
 	// is cut at most this long after its first query arrived, bounding the
@@ -56,8 +68,14 @@ type Config struct {
 	// Replicas is the number of serving replicas (default 1), each a
 	// simulated device with its own kernel context and weight snapshot.
 	Replicas int
-	// QueueCap bounds the admission queue (default 4096 in-flight queries);
-	// a full queue applies backpressure to Submit.
+	// Shards is the number of admission shards (default: one per replica).
+	// A query routes to shards[hash(dsts) % Shards] — sticky by contents —
+	// and each shard cuts micro-batches independently, so admission scales
+	// with the replica count instead of funneling through one goroutine.
+	Shards int
+	// QueueCap bounds the total admission queue (default 4096 in-flight
+	// queries, split evenly across shards); a full shard queue applies
+	// backpressure to Submit.
 	QueueCap int
 	// Cache, when non-nil, is the embedding cache the preprocessing K/T
 	// subtasks consult; resident vertices skip the modeled miss-only
@@ -74,6 +92,11 @@ func DefaultConfig() Config {
 // server.
 var ErrClosed = errors.New("serve: server closed")
 
+// testHookServeBatch, when set (before the server starts — tests only),
+// runs at the head of every replica's serveBatch. The backpressure tests
+// use it to stall the drain deterministically so admission queues fill.
+var testHookServeBatch func()
+
 // Ticket is one in-flight query. Tickets are pooled: Wait recycles the
 // ticket, so it must not be used afterwards.
 type Ticket struct {
@@ -81,6 +104,7 @@ type Ticket struct {
 	dsts []graph.VID // retained copy of the query's dst vertices
 	out  []float32   // caller's logit buffer: len(dsts) × OutDim rows
 	enq  time.Time
+	next *Ticket    // SubmitMany chain link: one channel hop per shard
 	done chan error // buffered 1, retained across checkouts
 }
 
@@ -89,22 +113,52 @@ type Ticket struct {
 func (tk *Ticket) Wait() error {
 	err := <-tk.done
 	srv := tk.srv
-	tk.srv, tk.out = nil, nil
+	tk.srv, tk.out, tk.next = nil, nil, nil
 	tk.dsts = tk.dsts[:0]
 	srv.tickets.Put(tk)
 	return err
 }
 
 // microBatch is one coalesced unit of work: the deduplicated union of its
-// tickets' dst vertices plus the dst→row directory the scatter uses.
-// Micro-batches are pooled; every field is rebuilt per checkout.
+// tickets' dst vertices plus the dst→row directory the scatter uses, tagged
+// with the admission shard that cut it (stats attribution survives work
+// stealing). Micro-batches are pooled; every field is rebuilt per checkout.
 type microBatch struct {
+	sh      *shard
 	dsts    []graph.VID
 	index   map[graph.VID]int32
 	tickets []*Ticket
 }
 
-// Server coalesces inference requests and drains them over its replicas.
+// latWindow bounds the retained latency history: Stats and Latencies
+// report over the most recent ~latWindow completed queries (split across
+// the per-shard rings), so a long-lived server's memory (and its Stats
+// sort) stays constant under sustained traffic.
+const latWindow = 1 << 16
+
+// shard is one admission domain: its own bounded ticket queue, its own
+// coalescing goroutine cutting micro-batches under the size/deadline
+// policy, its own batch queue (drained by its replica first, stolen from
+// by idle ones), and its own lock-free statistics. Queries are routed to
+// shards by a content hash, so two servers given the same queries build
+// the same batches per shard regardless of load or timing.
+type shard struct {
+	id      int
+	in      chan *Ticket
+	batches chan *microBatch
+
+	// Lock-free hot-path stats: counters bumped on completion (possibly by
+	// a stealing replica), latencies in a lock-free ring, merged only by
+	// Stats/Latencies.
+	queries atomic.Int64
+	served  atomic.Int64
+	dsts    atomic.Int64
+	stolen  atomic.Int64
+	lat     *metrics.LatencyRing
+}
+
+// Server coalesces inference requests over sharded admission queues and
+// drains them over its replicas.
 type Server struct {
 	tr     *frameworks.Trainer
 	cfg    Config
@@ -115,43 +169,42 @@ type Server struct {
 	// calls, one per replica draining a batch.
 	sched    *pipeline.Scheduler
 	replicas []*replica
+	shards   []*shard
 
-	in          chan *Ticket
-	batches     chan *microBatch
-	stop        chan struct{}
+	// workReady carries one wake token: a shard flushing a batch sets it,
+	// an idle replica consumes it, re-polls every shard and — if more work
+	// remains — passes the baton so the other idle replicas wake too.
+	workReady chan struct{}
+	stop      chan struct{}
+	// admDone closes once every admission shard has drained and exited;
+	// replicas then sweep the batch queues one final time and exit.
+	admDone     chan struct{}
 	closed      sync.Once
 	schedClosed sync.Once
+	admWG       sync.WaitGroup
 	wg          sync.WaitGroup
 
 	// closeMu fences admission against Close: Submit holds the read side
 	// across its queue send, so once Close flips closing (under the write
-	// side) and signals stop, no new ticket can slip into the queue — the
-	// admission loop's final drain serves everything that made it in, and
+	// side) and signals stop, no new ticket can slip into a queue — the
+	// admission shards' final drains serve everything that made it in, and
 	// nothing is ever stranded.
 	closeMu sync.RWMutex
 	closing bool
 
 	tickets sync.Pool
 	mbs     sync.Pool
+	scratch sync.Pool // SubmitMany per-shard chain scratch
 
-	mu       sync.Mutex
-	lat      []time.Duration // ring of the latWindow most recent latencies
-	latPos   int             // next overwrite index once the ring is full
-	queries  int
-	served   int // batches completed
-	dsts     int // coalesced dsts over all served batches
-	firstEnq time.Time
-	lastDone time.Time
+	// firstEnq is the one-shot first-admission stamp (unix nanos, CAS from
+	// zero); lastDone the CAS-max completion stamp. Together they bound the
+	// wall interval Stats derives throughput from — no lock on either path.
+	firstEnq atomic.Int64
+	lastDone atomic.Int64
 }
 
-// latWindow bounds the retained latency history: Stats and Latencies
-// report over the most recent latWindow completed queries, so a long-lived
-// server's memory (and its Stats sort) stays constant under sustained
-// traffic.
-const latWindow = 1 << 16
-
 // NewServer builds a serving engine over a trainer's dataset and trained
-// weights and starts its admission loop and replicas. The trainer is only
+// weights and starts its admission shards and replicas. The trainer is only
 // read (weight snapshots, sampler/format configuration); it can keep
 // training between servers, but not concurrently with one.
 func NewServer(tr *frameworks.Trainer, cfg Config) (*Server, error) {
@@ -164,16 +217,19 @@ func NewServer(tr *frameworks.Trainer, cfg Config) (*Server, error) {
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 1
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = cfg.Replicas
+	}
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 4096
 	}
 	s := &Server{
-		tr:      tr,
-		cfg:     cfg,
-		outDim:  tr.OutDim(),
-		in:      make(chan *Ticket, cfg.QueueCap),
-		batches: make(chan *microBatch, 2*cfg.Replicas),
-		stop:    make(chan struct{}),
+		tr:        tr,
+		cfg:       cfg,
+		outDim:    tr.OutDim(),
+		workReady: make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		admDone:   make(chan struct{}),
 	}
 
 	pcfg := pipeline.DefaultConfig()
@@ -188,14 +244,43 @@ func NewServer(tr *frameworks.Trainer, cfg Config) (*Server, error) {
 	for i := 0; i < cfg.Replicas; i++ {
 		r, err := newReplica(s, i)
 		if err != nil {
-			close(s.stop)
+			s.schedClosed.Do(s.sched.Close)
 			return nil, err
 		}
 		s.replicas = append(s.replicas, r)
 	}
 
-	s.wg.Add(1 + len(s.replicas))
-	go s.coalesce()
+	queueCap := cfg.QueueCap / cfg.Shards
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	ringCap := latWindow / cfg.Shards
+	if ringCap < 1024 {
+		ringCap = 1024
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, &shard{
+			id:      i,
+			in:      make(chan *Ticket, queueCap),
+			batches: make(chan *microBatch, 2),
+			lat:     metrics.NewLatencyRing(ringCap),
+		})
+	}
+	for _, r := range s.replicas {
+		r.home = s.shards[r.id%len(s.shards)]
+	}
+
+	// Nothing starts until every component exists, so a constructor error
+	// never leaves goroutines behind.
+	s.admWG.Add(len(s.shards))
+	for _, sh := range s.shards {
+		go s.coalesce(sh)
+	}
+	go func() {
+		s.admWG.Wait()
+		close(s.admDone)
+	}()
+	s.wg.Add(len(s.replicas))
 	for _, r := range s.replicas {
 		go r.drain()
 	}
@@ -208,15 +293,29 @@ func (s *Server) OutDim() int { return s.outDim }
 // Replicas returns the replica count.
 func (s *Server) Replicas() int { return len(s.replicas) }
 
-// Submit enqueues one query — a set of dst vertices — and returns its
-// ticket. out receives the per-dst logit rows (len(dsts)·OutDim values,
-// row i belonging to dsts[i]) before the ticket completes; dsts is copied
-// and may be reused immediately. A full admission queue blocks (that is the
-// engine's backpressure).
-func (s *Server) Submit(dsts []graph.VID, out []float32) (*Ticket, error) {
-	if len(out) < len(dsts)*s.outDim {
-		return nil, errors.New("serve: logit buffer smaller than len(dsts) x OutDim")
+// Shards returns the admission shard count.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// shardFor routes a query to its admission shard: an FNV-1a hash of the
+// dst list, so the route is sticky — a pure function of the query's
+// contents, never of load, timing or shard occupancy.
+func (s *Server) shardFor(dsts []graph.VID) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
 	}
+	h := uint64(14695981039346656037)
+	for _, d := range dsts {
+		v := uint32(d)
+		h = (h ^ uint64(v&0xff)) * 1099511628211
+		h = (h ^ uint64((v>>8)&0xff)) * 1099511628211
+		h = (h ^ uint64((v>>16)&0xff)) * 1099511628211
+		h = (h ^ uint64(v>>24)) * 1099511628211
+	}
+	return s.shards[h%uint64(len(s.shards))]
+}
+
+// getTicket checks a pooled ticket out for one query.
+func (s *Server) getTicket(dsts []graph.VID, out []float32) *Ticket {
 	tk, _ := s.tickets.Get().(*Ticket)
 	if tk == nil {
 		tk = &Ticket{done: make(chan error, 1)}
@@ -224,17 +323,104 @@ func (s *Server) Submit(dsts []graph.VID, out []float32) (*Ticket, error) {
 	tk.srv = s
 	tk.dsts = append(tk.dsts[:0], dsts...)
 	tk.out = out
+	tk.next = nil
 	tk.enq = time.Now()
+	return tk
+}
+
+// putTicket returns an unsubmitted ticket to the pool.
+func (s *Server) putTicket(tk *Ticket) {
+	tk.srv, tk.out, tk.next = nil, nil, nil
+	tk.dsts = tk.dsts[:0]
+	s.tickets.Put(tk)
+}
+
+// Submit enqueues one query — a set of dst vertices — and returns its
+// ticket. out receives the per-dst logit rows (len(dsts)·OutDim values,
+// row i belonging to dsts[i]) before the ticket completes; dsts is copied
+// and may be reused immediately. A full admission shard blocks (that is the
+// engine's backpressure — queries are never dropped).
+func (s *Server) Submit(dsts []graph.VID, out []float32) (*Ticket, error) {
+	if len(out) < len(dsts)*s.outDim {
+		return nil, errors.New("serve: logit buffer smaller than len(dsts) x OutDim")
+	}
+	tk := s.getTicket(dsts, out)
+	sh := s.shardFor(tk.dsts)
 	s.closeMu.RLock()
 	if s.closing {
 		s.closeMu.RUnlock()
-		tk.srv, tk.out = nil, nil
-		s.tickets.Put(tk)
+		s.putTicket(tk)
 		return nil, ErrClosed
 	}
-	s.in <- tk
+	sh.in <- tk
 	s.closeMu.RUnlock()
 	return tk, nil
+}
+
+// submitScratch is SubmitMany's pooled per-shard chain state.
+type submitScratch struct {
+	heads, tails []*Ticket
+}
+
+// SubmitMany enqueues a slice of queries in bulk: tickets are chained per
+// admission shard and each shard receives its whole chain in one channel
+// hop, so a bulk caller pays O(shards) hops instead of O(queries). tks must
+// have len(queries) slots; it receives one ticket per query (same order).
+// Routing, coalescing and results are identical to len(queries) Submit
+// calls — SubmitMany is pure submission-side perf.
+func (s *Server) SubmitMany(queries [][]graph.VID, outs [][]float32, tks []*Ticket) error {
+	if len(outs) != len(queries) || len(tks) != len(queries) {
+		return errors.New("serve: SubmitMany needs one out buffer and one ticket slot per query")
+	}
+	for q := range queries {
+		if len(outs[q]) < len(queries[q])*s.outDim {
+			return errors.New("serve: logit buffer smaller than len(dsts) x OutDim")
+		}
+	}
+	sc, _ := s.scratch.Get().(*submitScratch)
+	if sc == nil || len(sc.heads) < len(s.shards) {
+		sc = &submitScratch{
+			heads: make([]*Ticket, len(s.shards)),
+			tails: make([]*Ticket, len(s.shards)),
+		}
+	}
+	release := func() {
+		for i := range sc.heads {
+			sc.heads[i], sc.tails[i] = nil, nil
+		}
+		s.scratch.Put(sc)
+	}
+	for q := range queries {
+		tk := s.getTicket(queries[q], outs[q])
+		tks[q] = tk
+		sh := s.shardFor(tk.dsts)
+		if sc.tails[sh.id] == nil {
+			sc.heads[sh.id] = tk
+		} else {
+			sc.tails[sh.id].next = tk
+		}
+		sc.tails[sh.id] = tk
+	}
+	s.closeMu.RLock()
+	if s.closing {
+		s.closeMu.RUnlock()
+		for q, tk := range tks[:len(queries)] {
+			if tk != nil {
+				s.putTicket(tk)
+				tks[q] = nil
+			}
+		}
+		release()
+		return ErrClosed
+	}
+	for i, head := range sc.heads {
+		if head != nil {
+			s.shards[i].in <- head
+		}
+	}
+	s.closeMu.RUnlock()
+	release()
+	return nil
 }
 
 // Query is a blocking Submit + Wait.
@@ -246,12 +432,21 @@ func (s *Server) Query(dsts []graph.VID, out []float32) error {
 	return tk.Wait()
 }
 
-// coalesce is the admission loop: it accumulates queries into the current
-// micro-batch and cuts it when the batch reaches MaxBatch distinct dsts or
-// MaxDelay after its first query, whichever comes first.
-func (s *Server) coalesce() {
-	defer s.wg.Done()
-	defer close(s.batches)
+// notifyWork sets the single wake token idle replicas block on.
+func (s *Server) notifyWork() {
+	select {
+	case s.workReady <- struct{}{}:
+	default:
+	}
+}
+
+// coalesce is one shard's admission loop: it accumulates the shard's
+// queries into the current micro-batch and cuts it when the batch reaches
+// MaxBatch distinct dsts or MaxDelay after its first query, whichever comes
+// first. Shards run independently — the only cross-shard interaction is
+// batch-granularity work stealing on the drain side.
+func (s *Server) coalesce(sh *shard) {
+	defer s.admWG.Done()
 	timer := time.NewTimer(time.Hour)
 	stopTimer := func() {
 		if !timer.Stop() {
@@ -267,56 +462,73 @@ func (s *Server) coalesce() {
 		if cur == nil {
 			return
 		}
-		s.batches <- cur
+		sh.batches <- cur
 		cur = nil
+		s.notifyWork()
+	}
+	// admitChain folds a ticket chain (one for Submit, many for
+	// SubmitMany) into the current batch, cutting at MaxBatch as it goes.
+	admitChain := func(tk *Ticket) {
+		for tk != nil {
+			nx := tk.next
+			tk.next = nil
+			cur = s.admit(sh, cur, tk)
+			if len(cur.dsts) >= s.cfg.MaxBatch {
+				flush()
+			}
+			tk = nx
+		}
 	}
 	for {
 		if cur == nil {
 			select {
-			case tk := <-s.in:
-				cur = s.admit(cur, tk)
-				if len(cur.dsts) >= s.cfg.MaxBatch {
-					flush()
-				} else {
+			case tk := <-sh.in:
+				admitChain(tk)
+				if cur != nil {
 					timer.Reset(s.cfg.MaxDelay)
 				}
 			case <-s.stop:
-				s.drainClosing(&cur, flush)
+				s.drainClosing(sh, admitChain, flush)
 				return
 			}
 			continue
 		}
+		prev := cur
 		select {
-		case tk := <-s.in:
-			cur = s.admit(cur, tk)
-			if len(cur.dsts) >= s.cfg.MaxBatch {
+		case tk := <-sh.in:
+			admitChain(tk)
+			if cur == nil {
 				stopTimer()
-				flush()
+			} else if cur != prev {
+				// The chain cut prev and started a new batch: its deadline
+				// runs from its own first query, i.e. from now.
+				stopTimer()
+				timer.Reset(s.cfg.MaxDelay)
 			}
 		case <-timer.C:
 			flush()
 		case <-s.stop:
 			stopTimer()
-			s.drainClosing(&cur, flush)
+			s.drainClosing(sh, admitChain, flush)
 			return
 		}
 	}
 }
 
-// admit folds one ticket into the current micro-batch, deduplicating dsts
-// across queries (two queries asking for the same vertex share its row).
-func (s *Server) admit(cur *microBatch, tk *Ticket) *microBatch {
+// admit folds one ticket into the shard's current micro-batch,
+// deduplicating dsts across queries (two queries asking for the same vertex
+// share its row).
+func (s *Server) admit(sh *shard, cur *microBatch, tk *Ticket) *microBatch {
 	if cur == nil {
 		cur, _ = s.mbs.Get().(*microBatch)
 		if cur == nil {
 			cur = &microBatch{index: make(map[graph.VID]int32)}
 		}
+		cur.sh = sh
 	}
-	s.mu.Lock()
-	if s.firstEnq.IsZero() {
-		s.firstEnq = tk.enq
+	if s.firstEnq.Load() == 0 {
+		s.firstEnq.CompareAndSwap(0, tk.enq.UnixNano())
 	}
-	s.mu.Unlock()
 	for _, d := range tk.dsts {
 		if _, ok := cur.index[d]; !ok {
 			cur.index[d] = int32(len(cur.dsts))
@@ -327,17 +539,14 @@ func (s *Server) admit(cur *microBatch, tk *Ticket) *microBatch {
 	return cur
 }
 
-// drainClosing serves every query that made it into the queue before Close
-// flipped admission off (no ticket is ever stranded — Close is a graceful
-// drain), cutting at MaxBatch as usual.
-func (s *Server) drainClosing(cur **microBatch, flush func()) {
+// drainClosing serves every query that made it into the shard's queue
+// before Close flipped admission off (no ticket is ever stranded — Close is
+// a graceful drain), cutting at MaxBatch as usual.
+func (s *Server) drainClosing(sh *shard, admitChain func(*Ticket), flush func()) {
 	for {
 		select {
-		case tk := <-s.in:
-			*cur = s.admit(*cur, tk)
-			if len((*cur).dsts) >= s.cfg.MaxBatch {
-				flush()
-			}
+		case tk := <-sh.in:
+			admitChain(tk)
 		default:
 			flush()
 			return
@@ -350,6 +559,7 @@ func (s *Server) putBatch(mb *microBatch) {
 	for _, d := range mb.dsts {
 		delete(mb.index, d)
 	}
+	mb.sh = nil
 	mb.dsts = mb.dsts[:0]
 	for i := range mb.tickets {
 		mb.tickets[i] = nil
@@ -358,25 +568,25 @@ func (s *Server) putBatch(mb *microBatch) {
 	s.mbs.Put(mb)
 }
 
-// complete records a served batch's latencies and signals its tickets.
-// Tickets are not touched after their done send — Wait recycles them.
+// complete records a served batch's latencies and counters on its admission
+// shard — atomics and a lock-free ring only, no lock anywhere on the
+// completion path — and signals its tickets. Tickets are not touched after
+// their done send — Wait recycles them.
 func (s *Server) complete(mb *microBatch, now time.Time, err error) {
-	s.mu.Lock()
+	sh := mb.sh
 	for _, tk := range mb.tickets {
-		if len(s.lat) < latWindow {
-			s.lat = append(s.lat, now.Sub(tk.enq))
-		} else {
-			s.lat[s.latPos] = now.Sub(tk.enq)
-			s.latPos = (s.latPos + 1) % latWindow
+		sh.lat.Record(now.Sub(tk.enq))
+	}
+	sh.queries.Add(int64(len(mb.tickets)))
+	sh.served.Add(1)
+	sh.dsts.Add(int64(len(mb.dsts)))
+	n := now.UnixNano()
+	for {
+		old := s.lastDone.Load()
+		if n <= old || s.lastDone.CompareAndSwap(old, n) {
+			break
 		}
 	}
-	s.queries += len(mb.tickets)
-	s.served++
-	s.dsts += len(mb.dsts)
-	if now.After(s.lastDone) {
-		s.lastDone = now
-	}
-	s.mu.Unlock()
 	for _, tk := range mb.tickets {
 		tk.done <- err
 	}
@@ -384,7 +594,7 @@ func (s *Server) complete(mb *microBatch, now time.Time, err error) {
 }
 
 // Close stops admission (subsequent Submits fail with ErrClosed), serves
-// everything already queued, waits for the admission loop and replicas to
+// everything already queued, waits for the admission shards and replicas to
 // exit, and retires the preprocessing scheduler's worker set (a process
 // cycling servers leaks nothing). Idempotent.
 func (s *Server) Close() {
@@ -398,10 +608,22 @@ func (s *Server) Close() {
 	s.schedClosed.Do(s.sched.Close)
 }
 
+// ShardStats is one admission shard's completed-work report.
+type ShardStats struct {
+	// Queries and Batches count completed work admitted by this shard;
+	// MeanBatch is the mean micro-batch size its policy achieved.
+	Queries, Batches int
+	MeanBatch        float64
+	// Stolen counts this shard's batches that were served by a replica
+	// other than the shard's own (work-stealing at batch granularity).
+	Stolen int
+}
+
 // Stats is the serving engine's throughput/latency report, in the
 // GroupStats style of the data-parallel engine.
 type Stats struct {
 	Replicas int
+	Shards   int
 	// Queries and Batches count completed work; CoalescedDsts/Batches is
 	// the mean micro-batch size the admission policy achieved.
 	Queries, Batches int
@@ -410,34 +632,52 @@ type Stats struct {
 	// first admission and the last completion.
 	Throughput float64
 	// Latency summarizes end-to-end query latencies (admission → scatter)
-	// over the most recent latWindow queries.
+	// over the most recent ~latWindow queries, merged across shards.
 	Latency metrics.LatencySummary
 	// CacheHitRate is the embedding cache's cumulative hit rate (0 without
 	// a cache).
 	CacheHitRate float64
+	// PerShard breaks the completed work down by admission shard.
+	PerShard []ShardStats
 }
 
-// Stats snapshots the server's cumulative report.
+// Stats snapshots the server's cumulative report by merging the per-shard
+// counters and latency rings (the only place they are ever combined).
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	st := Stats{Replicas: len(s.replicas), Queries: s.queries, Batches: s.served}
-	if s.served > 0 {
-		st.MeanBatch = float64(s.dsts) / float64(s.served)
+	st := Stats{Replicas: len(s.replicas), Shards: len(s.shards)}
+	var lat []time.Duration
+	var dsts int64
+	for _, sh := range s.shards {
+		q, b, d := sh.queries.Load(), sh.served.Load(), sh.dsts.Load()
+		ss := ShardStats{Queries: int(q), Batches: int(b), Stolen: int(sh.stolen.Load())}
+		if b > 0 {
+			ss.MeanBatch = float64(d) / float64(b)
+		}
+		st.PerShard = append(st.PerShard, ss)
+		st.Queries += int(q)
+		st.Batches += int(b)
+		dsts += d
+		lat = sh.lat.AppendTo(lat)
 	}
-	if wall := s.lastDone.Sub(s.firstEnq); wall > 0 {
-		st.Throughput = float64(s.queries) / wall.Seconds()
+	if st.Batches > 0 {
+		st.MeanBatch = float64(dsts) / float64(st.Batches)
 	}
-	lat := append([]time.Duration(nil), s.lat...)
-	s.mu.Unlock()
+	first, last := s.firstEnq.Load(), s.lastDone.Load()
+	if first > 0 && last > first {
+		st.Throughput = float64(st.Queries) / (time.Duration(last - first)).Seconds()
+	}
 	st.Latency = metrics.SummarizeLatencies(lat)
 	st.CacheHitRate = s.cfg.Cache.HitRate()
 	return st
 }
 
-// Latencies returns a copy of the most recent latWindow completed queries'
-// end-to-end latencies (for histograms beyond the Stats quantiles).
+// Latencies returns the most recent ~latWindow completed queries'
+// end-to-end latencies, merged across the per-shard rings (for histograms
+// beyond the Stats quantiles).
 func (s *Server) Latencies() []time.Duration {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]time.Duration(nil), s.lat...)
+	var lat []time.Duration
+	for _, sh := range s.shards {
+		lat = sh.lat.AppendTo(lat)
+	}
+	return lat
 }

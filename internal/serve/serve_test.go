@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -41,8 +42,9 @@ func testTrainer(t *testing.T, kind frameworks.Kind, ds *datasets.Dataset) *fram
 }
 
 // queryLogits runs every query through a server built with cfg and returns
-// one logit buffer per query.
-func queryLogits(t *testing.T, tr *frameworks.Trainer, cfg Config, queries [][]graph.VID) [][]float32 {
+// one logit buffer per query. With many set the queries go through one
+// bulk SubmitMany instead of per-query Submits.
+func queryLogits(t *testing.T, tr *frameworks.Trainer, cfg Config, queries [][]graph.VID, many bool) [][]float32 {
 	t.Helper()
 	s, err := NewServer(tr, cfg)
 	if err != nil {
@@ -53,9 +55,17 @@ func queryLogits(t *testing.T, tr *frameworks.Trainer, cfg Config, queries [][]g
 	tks := make([]*Ticket, len(queries))
 	for i, q := range queries {
 		outs[i] = make([]float32, len(q)*s.OutDim())
-		tks[i], err = s.Submit(q, outs[i])
-		if err != nil {
+	}
+	if many {
+		if err := s.SubmitMany(queries, outs, tks); err != nil {
 			t.Fatal(err)
+		}
+	} else {
+		for i, q := range queries {
+			tks[i], err = s.Submit(q, outs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	for _, tk := range tks {
@@ -69,8 +79,10 @@ func queryLogits(t *testing.T, tr *frameworks.Trainer, cfg Config, queries [][]g
 // TestCoalescedLogitsBitwise is the correctness core of the serving engine:
 // for every kernel strategy, a query's logits must be bitwise identical
 // whether it is served alone (per-query micro-batches), coalesced with
-// every other query into one big batch, served by many replicas, or served
-// at a different GOMAXPROCS. Coalescing and replication are pure perf.
+// every other query into one big batch, served by many replicas, routed
+// over any number of admission shards (with work stealing live between
+// them), submitted in bulk, or served at a different GOMAXPROCS.
+// Coalescing, sharding and replication are pure perf.
 func TestCoalescedLogitsBitwise(t *testing.T) {
 	ds := testDS(t)
 	const nQueries, qSize = 6, 20
@@ -88,25 +100,35 @@ func TestCoalescedLogitsBitwise(t *testing.T) {
 			// Serial reference: every query alone in its own micro-batch.
 			serialCfg := DefaultConfig()
 			serialCfg.MaxBatch = 1 // cut after every query
-			serial := queryLogits(t, tr, serialCfg, queries)
+			serial := queryLogits(t, tr, serialCfg, queries, false)
 
 			variants := []struct {
 				name string
 				cfg  Config
 				proc int
+				many bool
 			}{
-				{"coalesced", Config{MaxBatch: total, MaxDelay: 200 * time.Millisecond}, 0},
-				{"coalesced-3-replicas", Config{MaxBatch: 2 * qSize, MaxDelay: 200 * time.Millisecond, Replicas: 3}, 0},
-				{"coalesced-1-proc", Config{MaxBatch: total, MaxDelay: 200 * time.Millisecond}, 1},
+				{"coalesced", Config{MaxBatch: total, MaxDelay: 200 * time.Millisecond}, 0, false},
+				{"coalesced-3-replicas", Config{MaxBatch: 2 * qSize, MaxDelay: 200 * time.Millisecond, Replicas: 3}, 0, false},
+				{"coalesced-1-proc", Config{MaxBatch: total, MaxDelay: 200 * time.Millisecond}, 1, false},
 				{"coalesced-cached", Config{MaxBatch: total, MaxDelay: 200 * time.Millisecond,
-					Cache: cache.New(ds.NumVertices()/4, cache.Degree, ds.Graph)}, 0},
+					Cache: cache.New(ds.NumVertices()/4, cache.Degree, ds.Graph)}, 0, false},
+				// Shard-count sweep: more shards than replicas, fewer shards
+				// than replicas, and bulk submission — sticky content-hash
+				// routing plus batch-granularity stealing must leave every
+				// logit untouched.
+				{"sharded-4", Config{MaxBatch: 2 * qSize, MaxDelay: 200 * time.Millisecond, Shards: 4}, 0, false},
+				{"sharded-4-3-replicas", Config{MaxBatch: qSize, MaxDelay: 200 * time.Millisecond, Replicas: 3, Shards: 4}, 0, false},
+				{"sharded-2-3-replicas", Config{MaxBatch: 2 * qSize, MaxDelay: 200 * time.Millisecond, Replicas: 3, Shards: 2}, 0, false},
+				{"sharded-4-1-proc", Config{MaxBatch: 2 * qSize, MaxDelay: 200 * time.Millisecond, Shards: 4}, 1, false},
+				{"submit-many-sharded-3", Config{MaxBatch: 2 * qSize, MaxDelay: 200 * time.Millisecond, Replicas: 2, Shards: 3}, 0, true},
 			}
 			for _, v := range variants {
 				if v.proc > 0 {
 					prev := runtime.GOMAXPROCS(v.proc)
 					defer runtime.GOMAXPROCS(prev)
 				}
-				got := queryLogits(t, tr, v.cfg, queries)
+				got := queryLogits(t, tr, v.cfg, queries, v.many)
 				if v.proc > 0 {
 					runtime.GOMAXPROCS(runtime.NumCPU())
 				}
@@ -152,7 +174,7 @@ func TestTrainerServeMatchesServer(t *testing.T) {
 	logits.Free()
 	b.Release()
 
-	got := queryLogits(t, tr, DefaultConfig(), [][]graph.VID{dsts})[0]
+	got := queryLogits(t, tr, DefaultConfig(), [][]graph.VID{dsts}, false)[0]
 	for i, w := range want {
 		if got[i] != w {
 			t.Fatalf("logit %d: server %g != Trainer.Serve %g", i, got[i], w)
@@ -172,6 +194,7 @@ func TestConcurrentAdmissionAndDrain(t *testing.T) {
 		MaxBatch: 64,
 		MaxDelay: 500 * time.Microsecond,
 		Replicas: 3,
+		Shards:   5, // more shards than replicas: stealing is always live
 		Cache:    cache.New(ds.NumVertices()/4, cache.LFU, nil),
 	}
 	s, err := NewServer(tr, cfg)
@@ -206,6 +229,19 @@ func TestConcurrentAdmissionAndDrain(t *testing.T) {
 	}
 	if st.Batches == 0 || st.Throughput <= 0 {
 		t.Fatalf("empty stats after serving: %+v", st)
+	}
+	// The per-shard breakdown is exact: shard counters sum to the totals.
+	if len(st.PerShard) != cfg.Shards {
+		t.Fatalf("PerShard has %d entries, want %d", len(st.PerShard), cfg.Shards)
+	}
+	sumQ, sumB := 0, 0
+	for _, ss := range st.PerShard {
+		sumQ += ss.Queries
+		sumB += ss.Batches
+	}
+	if sumQ != st.Queries || sumB != st.Batches {
+		t.Fatalf("per-shard sums (%d queries, %d batches) != totals (%d, %d)",
+			sumQ, sumB, st.Queries, st.Batches)
 	}
 	s.Close()
 	for i, r := range s.replicas {
@@ -253,5 +289,181 @@ func TestCloseDrainsQueuedQueries(t *testing.T) {
 	}
 	if _, err := s.Submit(ds.BatchDsts(4, 1), make([]float32, 4*s.OutDim())); err != ErrClosed {
 		t.Fatalf("Submit after Close returned %v, want ErrClosed", err)
+	}
+	manyOuts := [][]float32{make([]float32, 4*s.OutDim())}
+	if err := s.SubmitMany([][]graph.VID{ds.BatchDsts(4, 2)}, manyOuts, make([]*Ticket, 1)); err != ErrClosed {
+		t.Fatalf("SubmitMany after Close returned %v, want ErrClosed", err)
+	}
+}
+
+// stallServing installs the test hook that blocks every replica at the head
+// of serveBatch until the returned release func runs. Must be called before
+// NewServer; the returned cleanup resets the hook (call it after Close).
+func stallServing() (release, cleanup func()) {
+	gate := make(chan struct{})
+	testHookServeBatch = func() { <-gate }
+	var once sync.Once
+	release = func() { once.Do(func() { close(gate) }) }
+	cleanup = func() { release(); testHookServeBatch = nil }
+	return release, cleanup
+}
+
+// TestSubmitBackpressureBlocks: when the admission queue fills (QueueCap),
+// Submit blocks — the engine applies backpressure, it never drops a query
+// and never returns a spurious error. Once the drain resumes, everything
+// submitted is served.
+func TestSubmitBackpressureBlocks(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	release, cleanup := stallServing()
+	defer cleanup()
+	// One shard, one replica, one query per batch, deadline never fires:
+	// with the replica stalled, in-flight capacity is exactly QueueCap plus
+	// the few tickets the coalesce/batch stages hold — far below total.
+	s, err := NewServer(tr, Config{MaxBatch: 1, MaxDelay: time.Hour, Replicas: 1, Shards: 1, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 16
+	var submitted atomic.Int64
+	tks := make([]*Ticket, total)
+	outs := make([][]float32, total)
+	go func() {
+		for i := 0; i < total; i++ {
+			dsts := ds.BatchDsts(4, uint64(5_000+i))
+			outs[i] = make([]float32, 4*s.OutDim())
+			tk, err := s.Submit(dsts, outs[i])
+			if err != nil {
+				t.Errorf("Submit %d returned %v with a full queue, want block", i, err)
+				return
+			}
+			tks[i] = tk
+			submitted.Add(1)
+		}
+	}()
+	// The submitter must stall well short of total while the drain is
+	// blocked: wait for progress to stop, then hold the observation.
+	deadline := time.Now().Add(5 * time.Second)
+	var stalled int64
+	for {
+		n := submitted.Load()
+		time.Sleep(50 * time.Millisecond)
+		if submitted.Load() == n {
+			stalled = n
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submitter never stalled")
+		}
+	}
+	if stalled == total {
+		t.Fatalf("all %d queries admitted past QueueCap 2 — no backpressure", total)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if n := submitted.Load(); n != stalled {
+		t.Fatalf("submitter advanced %d→%d while the queue was full", stalled, n)
+	}
+	// Resume the drain: the blocked Submit unblocks, every query serves.
+	release()
+	deadline = time.Now().Add(10 * time.Second)
+	for submitted.Load() != total {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d queries admitted after resume", submitted.Load(), total)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i, tk := range tks {
+		if err := tk.Wait(); err != nil {
+			t.Fatalf("query %d failed after backpressure resume: %v", i, err)
+		}
+	}
+	s.Close()
+	if st := s.Stats(); st.Queries != total {
+		t.Fatalf("served %d queries, want %d", st.Queries, total)
+	}
+}
+
+// TestBlockedSubmitRacingClose: a Submit blocked on a full queue while
+// Close runs must either admit its query (and serve it — Close drains) or
+// return ErrClosed; a ticket is never stranded with neither outcome.
+func TestBlockedSubmitRacingClose(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	release, cleanup := stallServing()
+	defer cleanup()
+	s, err := NewServer(tr, Config{MaxBatch: 1, MaxDelay: time.Hour, Replicas: 1, Shards: 1, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 16
+	type result struct {
+		tk  *Ticket
+		err error
+	}
+	results := make([]result, total)
+	var submitted atomic.Int64
+	subDone := make(chan struct{})
+	go func() {
+		defer close(subDone)
+		for i := 0; i < total; i++ {
+			dsts := ds.BatchDsts(4, uint64(7_000+i))
+			out := make([]float32, 4*s.OutDim())
+			tk, err := s.Submit(dsts, out)
+			results[i] = result{tk, err}
+			submitted.Add(1)
+		}
+	}()
+	// Wait until the submitter is wedged against the full queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := submitted.Load()
+		time.Sleep(50 * time.Millisecond)
+		if submitted.Load() == n && n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submitter never stalled")
+		}
+	}
+	// Race Close against the blocked Submit, then resume the drain so both
+	// can make progress.
+	closeDone := make(chan struct{})
+	go func() { s.Close(); close(closeDone) }()
+	time.Sleep(50 * time.Millisecond)
+	release()
+	select {
+	case <-closeDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close never returned")
+	}
+	select {
+	case <-subDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocked Submit never resolved after Close")
+	}
+	served := 0
+	for i, r := range results {
+		switch {
+		case r.err == ErrClosed:
+			// Rejected cleanly; nothing to wait on.
+		case r.err != nil:
+			t.Fatalf("Submit %d: unexpected error %v", i, r.err)
+		default:
+			// Admitted: Close must have drained it — Wait resolves, no hang.
+			done := make(chan error, 1)
+			go func(tk *Ticket) { done <- tk.Wait() }(r.tk)
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("admitted query %d failed: %v", i, err)
+				}
+				served++
+			case <-time.After(10 * time.Second):
+				t.Fatalf("admitted query %d stranded: Wait never resolved", i)
+			}
+		}
+	}
+	if served == 0 {
+		t.Fatal("no query was admitted before Close — race not exercised")
 	}
 }
