@@ -58,8 +58,11 @@ func runMicro(benchRe string, count int, outPath string) error {
 	// The module root holds the end-to-end benchmarks; internal/cache holds
 	// the epoch-snapshot read path whose zero-alloc floor the snapshot
 	// ratchets.
+	// -timeout scales with -count: the default 10m cap kills deep captures
+	// (the snapshot records min-over-samples, which needs count >= ~20 to
+	// converge on the concurrency-heavy benchmarks).
 	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem",
-		"-count", strconv.Itoa(count), ".", "./internal/cache"}
+		"-count", strconv.Itoa(count), "-timeout", "120m", ".", "./internal/cache"}
 	fmt.Fprintf(os.Stderr, "gtbench: go %v\n", args)
 	cmd := exec.Command("go", args...)
 	cmd.Stderr = os.Stderr

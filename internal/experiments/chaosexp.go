@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"strings"
+
+	"graphtensor/internal/datasets"
+	"graphtensor/internal/fault"
+	"graphtensor/internal/frameworks"
+	"graphtensor/internal/graph"
+	"graphtensor/internal/serve"
+	"graphtensor/internal/train"
+)
+
+func init() {
+	register("chaos", "Fault injection: replica failover, device death, crash/restore — all bitwise", runChaos)
+}
+
+// runChaos is the chaos-engineering acceptance run: seeded fault plans kill
+// serving replicas mid-batch, kill training devices mid-run and crash a
+// training job between checkpoints, and every row must end bitwise
+// identical to its fault-free reference. A DIFF is returned as an error so
+// CI fails loudly — fault tolerance that changes numerics is a silent
+// correctness bug, not a degraded mode.
+func runChaos(cfg Config) (*Result, error) {
+	var sb strings.Builder
+	ds, err := loadDataset(cfg, "products")
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Serving: replica failover under a seeded kill schedule. ---
+	tr, err := newTrainer(cfg, frameworks.PreproGT, ds, "gcn")
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := tr.TrainEpoch(cfg.batches(6)); err != nil {
+		return nil, err
+	}
+	nQueries := 48
+	if cfg.Quick {
+		nQueries = 24
+	}
+	const querySize = 16
+	queries := make([][]graph.VID, nQueries)
+	for q := range queries {
+		queries[q] = ds.BatchDsts(querySize, uint64(70_000+q))
+	}
+
+	fmt.Fprintf(&sb, "%-26s %5s %6s %9s %7s %7s\n",
+		"serving config", "nrep", "dead", "failovers", "p99", "logits")
+	type kill struct {
+		label    string
+		replicas int
+		plan     *fault.Plan
+	}
+	kills := []kill{
+		{"fault-free reference", 2, nil},
+		{"kill replica 0 @ batch 0", 2, fault.Schedule().Kill(0, 0)},
+		{"kill 2 of 4 replicas", 4, fault.Schedule().Kill(0, 0).Kill(2, 1)},
+	}
+	if cfg.Quick {
+		kills = kills[:2]
+	}
+	var refSums []uint64
+	for _, k := range kills {
+		scfg := serve.DefaultConfig()
+		scfg.Replicas = k.replicas
+		scfg.FaultPlan = k.plan
+		sums, res, _, err := serveAll(tr, scfg, queries, true)
+		if err != nil {
+			return nil, err
+		}
+		verdict := "ref"
+		if k.plan == nil {
+			refSums = sums
+		} else {
+			verdict = "exact"
+			for q := range sums {
+				if sums[q] != refSums[q] {
+					verdict = "DIFF"
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "%-26s %5d %6d %9d %7s %7s\n",
+			k.label, k.replicas, res.st.DeadReplicas, res.st.FailedOver,
+			res.st.Latency.P99.Round(10_000), verdict)
+		if verdict == "DIFF" {
+			return nil, fmt.Errorf("chaos: serving logits diverged under failover (%s)", k.label)
+		}
+	}
+	sb.WriteByte('\n')
+
+	// --- Training: device death mid-run shrinks the group bitwise. ---
+	nBatches := cfg.batches(6)
+	refW, _, err := chaosTrainRun(cfg, ds, 1, nBatches, nil)
+	if err != nil {
+		return nil, err
+	}
+	killW, killTr, err := chaosTrainRun(cfg, ds, 2, nBatches, fault.Schedule().Kill(1, 1))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(&sb, "%-26s %8s %6s %8s %8s\n", "training config", "devices", "dead", "retries", "weights")
+	fmt.Fprintf(&sb, "%-26s %8d %6d %8s %8s\n", "fault-free reference", 1, 0, "-", "ref")
+	verdict := "exact"
+	if killW != refW {
+		verdict = "DIFF"
+	}
+	g := killTr.Group()
+	fmt.Fprintf(&sb, "%-26s %8d %6d %8d %8s\n",
+		"kill device 1 @ batch 1", 2, g.DeadDevices(), g.Retries(), verdict)
+	if verdict == "DIFF" {
+		return nil, fmt.Errorf("chaos: training trajectory diverged after device death")
+	}
+
+	// --- Training: crash after a checkpoint, resume on fewer devices. ---
+	dir, err := os.MkdirTemp("", "gt-chaos-ckpt")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	half := (nBatches + 1) / 2
+	crashed, err := chaosTrainer(cfg, ds, 2, nil)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := train.Config{Epochs: 1, BatchesPerEpoch: half, LearningRate: 0.05,
+		CheckpointDir: dir, CheckpointEvery: half}
+	if _, err := train.NewDriver(crashed, dcfg, nil).Run(); err != nil {
+		return nil, err
+	}
+	resumed, err := chaosTrainer(cfg, ds, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	dcfg = train.Config{Epochs: 1, BatchesPerEpoch: nBatches, LearningRate: 0.05,
+		CheckpointDir: dir, CheckpointEvery: nBatches, Resume: true}
+	if _, err := train.NewDriver(resumed, dcfg, nil).Run(); err != nil {
+		return nil, err
+	}
+	verdict = "exact"
+	if weightSum(resumed) != refW {
+		verdict = "DIFF"
+	}
+	fmt.Fprintf(&sb, "%-26s %8s %6s %8s %8s\n",
+		fmt.Sprintf("crash@%d, resume on 1 dev", half), "2->1", "-", "-", verdict)
+	if verdict == "DIFF" {
+		return nil, fmt.Errorf("chaos: crash-resumed trajectory diverged from uninterrupted run")
+	}
+
+	sb.WriteString("\nEvery fault is drawn from a seeded plan — a pure function of\n" +
+		"(seed, step, device), never wall time — so each chaos run replays\n" +
+		"bitwise. Failover re-enqueues whole micro-batches and the device group\n" +
+		"replays whole batches on the survivors, so the logits and the training\n" +
+		"trajectory must equal the fault-free reference bit for bit; a DIFF\n" +
+		"fails the experiment.\n")
+	return &Result{Text: sb.String()}, nil
+}
+
+// chaosTrainer builds the data-parallel trainer the chaos training rows
+// share: BaseGT (the DKP-free build, so placement is deterministic at every
+// device count), optionally carrying a fault plan into the device group.
+func chaosTrainer(cfg Config, ds *datasets.Dataset, nDev int, plan *fault.Plan) (*frameworks.Trainer, error) {
+	opt := frameworks.DefaultOptions()
+	opt.Device = cfg.device()
+	opt.NumDevices = nDev
+	opt.FaultPlan = plan
+	if cfg.Quick {
+		opt.BatchSize = 100
+	}
+	return frameworks.New(frameworks.BaseGT, ds, opt)
+}
+
+// chaosTrainRun trains nBatches on an nDev-device group under the plan and
+// returns the final weight checksum plus the trainer (for group stats).
+func chaosTrainRun(cfg Config, ds *datasets.Dataset, nDev, nBatches int, plan *fault.Plan) (uint64, *frameworks.Trainer, error) {
+	tr, err := chaosTrainer(cfg, ds, nDev, plan)
+	if err != nil {
+		return 0, nil, err
+	}
+	if _, _, err := tr.TrainEpoch(nBatches); err != nil {
+		return 0, nil, err
+	}
+	return weightSum(tr), tr, nil
+}
+
+// weightSum checksums the trainer's canonical weights.
+func weightSum(tr *frameworks.Trainer) uint64 {
+	h := fnv.New64a()
+	for _, l := range tr.Model.Layers {
+		for _, v := range l.W.Data {
+			bits := math.Float32bits(v)
+			h.Write([]byte{byte(bits), byte(bits >> 8), byte(bits >> 16), byte(bits >> 24)})
+		}
+		for _, v := range l.B {
+			bits := math.Float32bits(v)
+			h.Write([]byte{byte(bits), byte(bits >> 8), byte(bits >> 16), byte(bits >> 24)})
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,136 @@
+// Package fault is GraphTensor's deterministic fault-injection layer: the
+// chaos source the serving and training engines are hardened against. A
+// Plan decides, for every (device, step) pair, whether the device dies at
+// that step and how long its kernels stall — and the decision is a pure
+// function of the plan's seed and those two integers. Wall time never
+// enters: two runs with the same plan see byte-for-byte the same fault
+// schedule, so a chaos run replays bitwise and a failover bug reproduces
+// on the first try.
+//
+// Plans compose an explicit schedule (Kill/StallAt — the form tests use,
+// one kill at one step) with hash-derived probabilistic events (Config
+// rates — the form soak runs use). Both are deterministic; the
+// probabilistic form derives each verdict from splitmix64(seed, device,
+// step), so it is stable under any interleaving and any GOMAXPROCS.
+//
+// The package is pure policy: it never touches a device. Integrations
+// (serve replicas, the multigpu DeviceGroup) query the plan at batch
+// boundaries — the only places the engines' determinism disciplines allow
+// behaviour to change — and drive the gpusim mechanisms (Device.Kill,
+// Device.InjectStall) themselves.
+package fault
+
+import "time"
+
+// Kind labels an injected event.
+type Kind uint8
+
+const (
+	// DeviceDeath permanently kills the device: every subsequent
+	// allocation fails with gpusim's device-lost error. Batch-granularity
+	// failover (serving) or group shrink (training) takes over.
+	DeviceDeath Kind = iota + 1
+	// KernelStall charges the device a transient modeled delay — a
+	// straggling kernel — without harming correctness.
+	KernelStall
+	// SlowReplica marks the device slow for one step: a longer modeled
+	// delay, the knob that makes work stealing visible in chaos runs.
+	SlowReplica
+)
+
+// Config sets the probabilistic event rates. All rates are per (device,
+// step) and independent; zero rates (the zero value) yield a plan that
+// injects only its explicit schedule.
+type Config struct {
+	// DeathProb is the per-step probability a device permanently dies.
+	DeathProb float64
+	// StallProb and StallTime shape transient kernel stalls.
+	StallProb float64
+	StallTime time.Duration
+	// SlowProb and SlowTime shape slow-replica events (a longer stall).
+	SlowProb float64
+	SlowTime time.Duration
+}
+
+// Plan is a deterministic fault schedule. The zero value is unusable; use
+// NewPlan or Schedule. A Plan is immutable after construction (Kill and
+// StallAt return before any engine consults it), so concurrent queries
+// from replicas and device workers need no synchronization.
+type Plan struct {
+	seed   uint64
+	cfg    Config
+	kills  map[devStep]bool
+	stalls map[devStep]time.Duration
+}
+
+type devStep struct {
+	dev, step int
+}
+
+// NewPlan builds a plan from a seed and probabilistic rates. Explicit
+// events may be layered on with Kill/StallAt before use.
+func NewPlan(seed uint64, cfg Config) *Plan {
+	return &Plan{
+		seed:   seed,
+		cfg:    cfg,
+		kills:  map[devStep]bool{},
+		stalls: map[devStep]time.Duration{},
+	}
+}
+
+// Schedule builds a plan with no probabilistic events — the explicit form
+// chaos tests use: exactly the kills and stalls added via Kill/StallAt.
+func Schedule() *Plan { return NewPlan(0, Config{}) }
+
+// Kill schedules device dev to die at step (its step-th batch, counted
+// from 0). Returns the plan for chaining.
+func (p *Plan) Kill(dev, step int) *Plan {
+	p.kills[devStep{dev, step}] = true
+	return p
+}
+
+// StallAt schedules a modeled stall of d on device dev at step. Returns
+// the plan for chaining.
+func (p *Plan) StallAt(dev, step int, d time.Duration) *Plan {
+	p.stalls[devStep{dev, step}] = d
+	return p
+}
+
+// DeviceDies reports whether device dev dies at step. Pure: the same
+// (plan, dev, step) always answers the same.
+func (p *Plan) DeviceDies(dev, step int) bool {
+	if p.kills[devStep{dev, step}] {
+		return true
+	}
+	return p.cfg.DeathProb > 0 && p.roll(uint64(DeviceDeath), dev, step) < p.cfg.DeathProb
+}
+
+// StallFor returns the modeled stall injected on device dev at step (0
+// for none). Explicit stalls win; otherwise kernel-stall and slow-replica
+// rolls are combined (a step can draw both). Pure like DeviceDies.
+func (p *Plan) StallFor(dev, step int) time.Duration {
+	if d, ok := p.stalls[devStep{dev, step}]; ok {
+		return d
+	}
+	var d time.Duration
+	if p.cfg.StallProb > 0 && p.roll(uint64(KernelStall), dev, step) < p.cfg.StallProb {
+		d += p.cfg.StallTime
+	}
+	if p.cfg.SlowProb > 0 && p.roll(uint64(SlowReplica), dev, step) < p.cfg.SlowProb {
+		d += p.cfg.SlowTime
+	}
+	return d
+}
+
+// roll maps (seed, kind, dev, step) to a uniform [0,1) value via a
+// splitmix64 finalizer — the same hash-not-state construction the
+// samplers use, so verdicts are independent of query order.
+func (p *Plan) roll(kind uint64, dev, step int) float64 {
+	x := p.seed ^ kind*0x9e3779b97f4a7c15 ^ uint64(dev+1)*0xbf58476d1ce4e5b9 ^ uint64(step+1)*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPlanDeterministic: verdicts are a pure function of (seed, dev,
+// step) — two plans with the same seed agree everywhere, query order and
+// repetition never matter.
+func TestFaultPlanDeterministic(t *testing.T) {
+	cfg := Config{
+		DeathProb: 0.05,
+		StallProb: 0.2, StallTime: 3 * time.Millisecond,
+		SlowProb: 0.1, SlowTime: 20 * time.Millisecond,
+	}
+	a, b := NewPlan(42, cfg), NewPlan(42, cfg)
+	// Query b in reverse order to prove order-independence.
+	type verdict struct {
+		dies  bool
+		stall time.Duration
+	}
+	var av, bv []verdict
+	for dev := 0; dev < 4; dev++ {
+		for step := 0; step < 256; step++ {
+			av = append(av, verdict{a.DeviceDies(dev, step), a.StallFor(dev, step)})
+		}
+	}
+	for dev := 3; dev >= 0; dev-- {
+		for step := 255; step >= 0; step-- {
+			bv = append(bv, verdict{b.DeviceDies(dev, step), b.StallFor(dev, step)})
+		}
+	}
+	n := len(av)
+	for i := range av {
+		j := n - 1 - i // bv was filled in reverse
+		if av[i] != bv[j] {
+			t.Fatalf("verdict %d diverged between identical plans: %+v vs %+v", i, av[i], bv[j])
+		}
+	}
+	// Re-query a: verdicts are stable, not consumed.
+	if got := a.DeviceDies(0, 0); got != av[0].dies {
+		t.Fatalf("re-query changed DeviceDies(0,0): %v then %v", av[0].dies, got)
+	}
+}
+
+// TestPlanSeedsDiffer: different seeds give different schedules (the
+// probabilistic rates actually fire and actually depend on the seed).
+func TestFaultPlanSeedsDiffer(t *testing.T) {
+	cfg := Config{StallProb: 0.5, StallTime: time.Millisecond}
+	a, b := NewPlan(1, cfg), NewPlan(2, cfg)
+	fired, differ := 0, false
+	for step := 0; step < 512; step++ {
+		sa, sb := a.StallFor(0, step), b.StallFor(0, step)
+		if sa > 0 {
+			fired++
+		}
+		if (sa > 0) != (sb > 0) {
+			differ = true
+		}
+	}
+	if fired == 0 || fired == 512 {
+		t.Fatalf("StallProb=0.5 fired %d/512 times; rate is not being applied", fired)
+	}
+	if !differ {
+		t.Fatal("seeds 1 and 2 produced identical 512-step stall schedules")
+	}
+}
+
+// TestExplicitSchedule: Schedule() injects exactly the programmed events
+// and nothing else.
+func TestFaultExplicitSchedule(t *testing.T) {
+	p := Schedule().Kill(1, 3).StallAt(0, 2, 5*time.Millisecond)
+	for dev := 0; dev < 3; dev++ {
+		for step := 0; step < 8; step++ {
+			wantDie := dev == 1 && step == 3
+			if got := p.DeviceDies(dev, step); got != wantDie {
+				t.Fatalf("DeviceDies(%d,%d) = %v, want %v", dev, step, got, wantDie)
+			}
+			var wantStall time.Duration
+			if dev == 0 && step == 2 {
+				wantStall = 5 * time.Millisecond
+			}
+			if got := p.StallFor(dev, step); got != wantStall {
+				t.Fatalf("StallFor(%d,%d) = %v, want %v", dev, step, got, wantStall)
+			}
+		}
+	}
+}
+
+// TestRollUniform: the hash behind the probabilistic verdicts is roughly
+// uniform — a 25% rate fires near 25% of the time over many steps.
+func TestFaultRollUniform(t *testing.T) {
+	p := NewPlan(7, Config{StallProb: 0.25, StallTime: time.Millisecond})
+	fired := 0
+	const n = 4096
+	for step := 0; step < n; step++ {
+		if p.StallFor(0, step) > 0 {
+			fired++
+		}
+	}
+	rate := float64(fired) / n
+	if rate < 0.20 || rate > 0.30 {
+		t.Fatalf("25%% stall rate fired at %.1f%% over %d steps", 100*rate, n)
+	}
+}

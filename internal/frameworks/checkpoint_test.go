@@ -1,0 +1,161 @@
+package frameworks
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphtensor/internal/multigpu"
+)
+
+func ckptTrainer(t *testing.T, nDev int) *Trainer {
+	t.Helper()
+	opt := quickOpts()
+	opt.NumDevices = nDev
+	tr, err := New(BaseGT, testDS(t), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func mustTrain(t *testing.T, tr *Trainer, n int) {
+	t.Helper()
+	if _, _, err := tr.TrainEpoch(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointRestoreRoundtripBitwise: train 3 batches, checkpoint, restore
+// into a fresh trainer, train 3 more — the final weights are bitwise
+// identical to 6 uninterrupted batches, because the snapshot carries both
+// the weights and the schedule cursor (batch 4 after restore is exactly the
+// batch 4 the uninterrupted run drew).
+func TestCheckpointRestoreRoundtripBitwise(t *testing.T) {
+	ref := ckptTrainer(t, 0)
+	mustTrain(t, ref, 6)
+	refW := collectWeights(ref)
+
+	a := ckptTrainer(t, 0)
+	mustTrain(t, a, 3)
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := a.Checkpoint(path, a.batchSeq); err != nil {
+		t.Fatal(err)
+	}
+	midW := collectWeights(a)
+
+	b := ckptTrainer(t, 0)
+	step, err := b.Restore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 3 {
+		t.Fatalf("restored step %d, want 3", step)
+	}
+	for i, w := range collectWeights(b) {
+		if w != midW[i] {
+			t.Fatalf("restored weight[%d] = %v, checkpointed %v", i, w, midW[i])
+		}
+	}
+	mustTrain(t, b, 3)
+	for i, w := range collectWeights(b) {
+		if w != refW[i] {
+			t.Fatalf("resumed weight[%d] = %v, uninterrupted run %v — restore broke the trajectory", i, w, refW[i])
+		}
+	}
+}
+
+// TestRestoreOntoFewerDevicesBitwise is the ISSUE's crash-resume guarantee:
+// a snapshot taken mid-run on a two-device group resumes on a single-device
+// group — fewer devices than the interrupted run — and the remaining
+// trajectory still matches an uninterrupted run bitwise, because the shard
+// partition and fold order are device-count-invariant. Restoring into a
+// multi-device group also installs the weights on every replica.
+func TestRestoreOntoFewerDevicesBitwise(t *testing.T) {
+	ref := ckptTrainer(t, 1)
+	mustTrain(t, ref, 6)
+	refW := collectWeights(ref)
+
+	a := ckptTrainer(t, 2)
+	mustTrain(t, a, 3)
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := a.Checkpoint(path, a.batchSeq); err != nil {
+		t.Fatal(err)
+	}
+
+	b := ckptTrainer(t, 1)
+	if _, err := b.Restore(path); err != nil {
+		t.Fatal(err)
+	}
+	mustTrain(t, b, 3)
+	for i, w := range collectWeights(b) {
+		if w != refW[i] {
+			t.Fatalf("resumed-on-1-device weight[%d] = %v, uninterrupted %v", i, w, refW[i])
+		}
+	}
+
+	c := ckptTrainer(t, 2)
+	if _, err := c.Restore(path); err != nil {
+		t.Fatal(err)
+	}
+	if !multigpu.SameWeights(c.Group().Replica(0), c.Group().Replica(1)) {
+		t.Fatal("restore left device-group replicas diverged")
+	}
+}
+
+// TestRestoreCorruptCheckpoint: damage in any form — truncation, a flipped
+// bit, a clobbered magic — fails with ErrCheckpointCorrupt and leaves the
+// live weights untouched, so the caller can fall back to an older snapshot.
+// A structurally valid snapshot from a different run (seed mismatch) fails
+// with a plain error instead: the file is fine, loading it would not be.
+func TestRestoreCorruptCheckpoint(t *testing.T) {
+	a := ckptTrainer(t, 0)
+	mustTrain(t, a, 2)
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good")
+	if err := a.Checkpoint(good, a.batchSeq); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := map[string][]byte{
+		"truncated": raw[:len(raw)/2],
+		"bitflip":   append([]byte{}, raw...),
+		"badmagic":  append([]byte{}, raw...),
+	}
+	corrupt["bitflip"][len(raw)/2] ^= 0x40
+	copy(corrupt["badmagic"], "NOTCKPT\n")
+
+	tr := ckptTrainer(t, 0)
+	mustTrain(t, tr, 1)
+	before := collectWeights(tr)
+	for name, data := range corrupt {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Restore(p); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("%s checkpoint: Restore returned %v, want ErrCheckpointCorrupt", name, err)
+		}
+		for i, w := range collectWeights(tr) {
+			if w != before[i] {
+				t.Fatalf("%s checkpoint: failed Restore mutated weight[%d]", name, i)
+			}
+		}
+	}
+
+	// Seed mismatch: valid file, wrong run — a plain refusal, not corruption.
+	opt := quickOpts()
+	opt.Seed = 99
+	other, err := New(BaseGT, testDS(t), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Restore(good); err == nil || errors.Is(err, ErrCheckpointCorrupt) {
+		t.Fatalf("seed-mismatched Restore returned %v, want a plain mismatch error", err)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"graphtensor/internal/core"
 	"graphtensor/internal/datasets"
 	"graphtensor/internal/dkp"
+	"graphtensor/internal/fault"
 	"graphtensor/internal/gpusim"
 	"graphtensor/internal/graph"
 	"graphtensor/internal/kernels"
@@ -117,6 +118,11 @@ type Options struct {
 	// engine (0 = multigpu.DefaultShards). Trajectories are comparable
 	// across device counts only for an identical shard count.
 	GradShards int
+	// FaultPlan injects a deterministic fault schedule into the
+	// data-parallel device group (nil = fault-free; ignored without
+	// NumDevices). Faults are a pure function of (seed, step, device), so
+	// chaos runs replay bitwise.
+	FaultPlan *fault.Plan
 }
 
 // DefaultOptions mirrors the paper's experimental setup, scaled alongside
@@ -236,6 +242,9 @@ func New(kind Kind, ds *datasets.Dataset, opt Options) (*Trainer, error) {
 			func() (*core.Model, error) { return models.ByName(opt.Model, rp) })
 		if err != nil {
 			return nil, err
+		}
+		if opt.FaultPlan != nil {
+			t.group.SetFaultPlan(opt.FaultPlan)
 		}
 		// Replica 0 is the canonical trained model: validation and
 		// inference read the weights the folded updates produce.
@@ -563,21 +572,8 @@ func (t *Trainer) TrainStream(ring *pipeline.Ring, n int) (time.Duration, float6
 		return 0, 0, nil
 	}
 	start := time.Now()
-	var lossSum float64
-	for i := 0; i < n; i++ {
-		b, err := ring.Next()
-		if err != nil {
-			return 0, 0, err
-		}
-		loss, err := t.Compute(b)
-		if err != nil {
-			b.Release()
-			return 0, 0, err
-		}
-		lossSum += loss
-		b.Release()
-	}
-	return time.Since(start), lossSum / float64(n), nil
+	mean, err := t.TrainStreamHook(ring, n, nil)
+	return time.Since(start), mean, err
 }
 
 // ModeledPrep returns the modeled preprocessing latency of one batch under

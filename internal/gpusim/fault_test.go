@@ -1,0 +1,64 @@
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestKillFailsAlloc: a killed device fails every subsequent allocation
+// with a typed, errors.Is-able device-lost error; prior buffers remain
+// freeable so arenas can still clean up.
+func TestFaultKillFailsAlloc(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	b, err := d.Alloc(1024, "pre-kill")
+	if err != nil {
+		t.Fatalf("Alloc before Kill: %v", err)
+	}
+	if !d.Alive() {
+		t.Fatal("fresh device reports not alive")
+	}
+	d.Kill()
+	d.Kill() // idempotent
+	if d.Alive() {
+		t.Fatal("killed device reports alive")
+	}
+	_, err = d.Alloc(64, "post-kill")
+	if err == nil {
+		t.Fatal("Alloc on killed device succeeded")
+	}
+	if !IsDeviceLost(err) || !errors.Is(err, ErrDeviceLost) {
+		t.Fatalf("Alloc on killed device returned %T (%v), want DeviceLostError", err, err)
+	}
+	var dle *DeviceLostError
+	if !errors.As(err, &dle) || dle.Label != "post-kill" {
+		t.Fatalf("device-lost error lost its label: %v", err)
+	}
+	if wrapped := fmt.Errorf("ctx: %w", err); !IsDeviceLost(wrapped) {
+		t.Fatal("IsDeviceLost does not see through wrapping")
+	}
+	b.Free() // cleanup on a dead device must not panic
+	if got := d.MemInUse(); got != 0 {
+		t.Fatalf("MemInUse after free on dead device = %d", got)
+	}
+}
+
+// TestInjectStallAccumulates: injected stalls are modeled time only —
+// they accumulate on the device and never touch the work counters.
+func TestFaultInjectStallAccumulates(t *testing.T) {
+	d := NewDevice(DefaultConfig())
+	if d.StallTime() != 0 {
+		t.Fatal("fresh device has nonzero stall time")
+	}
+	before := d.Snapshot()
+	d.InjectStall(3 * time.Millisecond)
+	d.InjectStall(0) // no-op
+	d.InjectStall(2 * time.Millisecond)
+	if got, want := d.StallTime(), 5*time.Millisecond; got != want {
+		t.Fatalf("StallTime = %v, want %v", got, want)
+	}
+	if d.Snapshot() != before {
+		t.Fatal("InjectStall disturbed the work counters")
+	}
+}

@@ -18,6 +18,7 @@
 package gpusim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -86,6 +87,17 @@ type Device struct {
 	smMu   sync.Mutex
 	smFree []*SMContext
 
+	// dead flips once when Kill is called (fault injection): every
+	// subsequent Alloc fails with *DeviceLostError. Kernels allocate
+	// their outputs before running, so a killed device fails its next
+	// batch at the first device operation — a clean, catchable error on
+	// the existing Alloc error path, never a panic mid-kernel.
+	dead atomic.Bool
+	// stallNs accumulates injected modeled stall time (InjectStall):
+	// transient kernel stalls and slow-replica events charge the device
+	// modeled delay without touching correctness or wall-clock sleeps.
+	stallNs atomic.Int64
+
 	// Global counters aggregated across all finished kernels.
 	flops        atomic.Int64
 	globalLoads  atomic.Int64 // cache-line loads from global memory
@@ -117,6 +129,30 @@ type Buffer struct {
 	freed bool
 }
 
+// ErrDeviceLost is the sentinel every DeviceLostError unwraps to; use
+// IsDeviceLost (or errors.Is) to classify failures that failover should
+// absorb rather than report.
+var ErrDeviceLost = errors.New("gpusim: device lost")
+
+// DeviceLostError is returned by Alloc on a killed device, mirroring
+// CUDA's sticky cudaErrorDevicesUnavailable: once a device dies, every
+// subsequent operation on it fails until the process (here: the engine's
+// failover) gives up on the device.
+type DeviceLostError struct {
+	Label string // the allocation that observed the death
+}
+
+func (e *DeviceLostError) Error() string {
+	return fmt.Sprintf("gpusim: device lost (allocating %q)", e.Label)
+}
+
+// Unwrap makes errors.Is(err, ErrDeviceLost) work through wrapping.
+func (e *DeviceLostError) Unwrap() error { return ErrDeviceLost }
+
+// IsDeviceLost reports whether err (anywhere in its chain) is a device
+// loss — the class of failure failover absorbs.
+func IsDeviceLost(err error) bool { return errors.Is(err, ErrDeviceLost) }
+
 // ErrOutOfMemory is returned by Alloc when the allocation would exceed the
 // device capacity, mirroring CUDA's cudaErrorMemoryAllocation.
 type OOMError struct {
@@ -136,6 +172,9 @@ func (e *OOMError) Error() string {
 func (d *Device) Alloc(size int64, label string) (*Buffer, error) {
 	if size < 0 {
 		panic("gpusim: negative allocation")
+	}
+	if d.dead.Load() {
+		return nil, &DeviceLostError{Label: label}
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -336,6 +375,28 @@ func (d *Device) ResetCounters() {
 	d.cacheHits.Store(0)
 	d.cacheBytes.Store(0)
 	d.launches.Store(0)
+}
+
+// Kill marks the device dead: every subsequent Alloc fails with
+// *DeviceLostError. Killing twice is a no-op; there is no resurrection —
+// engines drop the device and degrade to the surviving set.
+func (d *Device) Kill() { d.dead.Store(true) }
+
+// Alive reports whether the device has not been killed.
+func (d *Device) Alive() bool { return !d.dead.Load() }
+
+// InjectStall charges the device a modeled stall (a straggling kernel or
+// a slow-replica episode). Purely modeled: it adjusts reported time, not
+// wall time, so fault runs stay bitwise reproducible.
+func (d *Device) InjectStall(delay time.Duration) {
+	if delay > 0 {
+		d.stallNs.Add(int64(delay))
+	}
+}
+
+// StallTime returns the cumulative injected stall.
+func (d *Device) StallTime() time.Duration {
+	return time.Duration(d.stallNs.Load())
 }
 
 // KernelTimeModel estimates what the counted work would cost on the real

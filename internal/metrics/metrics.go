@@ -194,6 +194,13 @@ type LatencySummary struct {
 	P50, P90, P99, Max time.Duration
 }
 
+// String renders the summary in report form, rounded to the microsecond.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("p50=%v p90=%v p99=%v max=%v",
+		s.P50.Round(time.Microsecond), s.P90.Round(time.Microsecond),
+		s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
 // SummarizeLatencies computes nearest-rank quantiles over a copy of the
 // sample (the input is not reordered). An empty sample yields zeros.
 func SummarizeLatencies(ds []time.Duration) LatencySummary {

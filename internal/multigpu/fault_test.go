@@ -1,0 +1,148 @@
+package multigpu
+
+import (
+	"testing"
+	"time"
+
+	"graphtensor/internal/fault"
+	"graphtensor/internal/gpusim"
+	"graphtensor/internal/prep"
+)
+
+// trainRunFault mirrors groupHarness.trainRun with a fault plan installed,
+// returning the group so tests can assert on the surviving set.
+func (h *groupHarness) trainRunFault(t *testing.T, nDev, batches, size int, p *fault.Plan) ([]float64, []float32, *DeviceGroup) {
+	t.Helper()
+	g, err := NewGroup(nDev, DefaultShards, gpusim.DefaultConfig(), true, h.factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetFaultPlan(p)
+	var losses []float64
+	for i := 0; i < batches; i++ {
+		b := h.batch(t, i, size)
+		loss, err := g.TrainBatch(b, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, loss)
+		b.Release()
+		for gi, d := range g.Devices() {
+			if m := d.Dev.MemInUse(); m != 0 {
+				t.Fatalf("batch %d: device %d MemInUse %d, want 0 between batches", i, gi, m)
+			}
+		}
+	}
+	ref := g.Replica(0)
+	for i := 1; i < g.NumDevices(); i++ {
+		if !SameWeights(ref, g.Replica(i)) {
+			t.Fatalf("replica %d diverged from replica 0 after faults", i)
+		}
+	}
+	var w []float32
+	for _, l := range ref.Layers {
+		w = append(w, l.W.Data...)
+		w = append(w, l.B...)
+	}
+	return losses, w, g
+}
+
+// TestGroupFaultShrinkBitwise is the training-side failover guarantee:
+// devices killed mid-run shrink the group to the surviving set, the
+// interrupted batch replays on the survivors, and the loss/weight
+// trajectory stays bitwise identical to a fault-free run — the shard
+// partition and ascending-shard fold order are shape-derived, so losing
+// devices (like adding them) cannot move a bit.
+func TestGroupFaultShrinkBitwise(t *testing.T) {
+	h := newGroupHarness(t, "gcn", prep.FormatCSRCSC)
+	refLoss, refW := h.trainRun(t, 1, 4, 60)
+
+	// Kill device 1 on batch 1 and device 3 on batch 2; stall device 0 on
+	// batch 0 for good measure (stalls are modeled time only).
+	plan := fault.Schedule().Kill(1, 1).Kill(3, 2).StallAt(0, 0, 5*time.Millisecond)
+	losses, w, g := h.trainRunFault(t, 4, 4, 60, plan)
+
+	for i := range refLoss {
+		if losses[i] != refLoss[i] {
+			t.Errorf("batch %d: loss %v under faults != fault-free %v", i, losses[i], refLoss[i])
+		}
+	}
+	for i := range refW {
+		if w[i] != refW[i] {
+			t.Fatalf("weight[%d] %v under faults != fault-free %v — device death changed numerics", i, w[i], refW[i])
+		}
+	}
+	if got := g.NumDevices(); got != 2 {
+		t.Fatalf("group has %d devices after two kills, want 2", got)
+	}
+	if got := g.DeadDevices(); got != 2 {
+		t.Fatalf("DeadDevices = %d, want 2", got)
+	}
+	// Survivors are the original devices 0 and 2 — ids never renumber.
+	for i, want := range []int{0, 2} {
+		if g.Devices()[i].id != want {
+			t.Fatalf("survivor %d has id %d, want %d", i, g.Devices()[i].id, want)
+		}
+	}
+}
+
+// TestGroupFaultStatsAccounting: the step stats record the retry, the
+// cumulative death count and the injected stall (which rides the modeled
+// step time but never the trajectory).
+func TestGroupFaultStatsAccounting(t *testing.T) {
+	h := newGroupHarness(t, "gcn", prep.FormatCSRCSC)
+	g, err := NewGroup(2, DefaultShards, gpusim.DefaultConfig(), true, h.factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetFaultPlan(fault.Schedule().Kill(1, 1).StallAt(0, 0, 7*time.Millisecond))
+
+	b := h.batch(t, 0, 60)
+	if _, err := g.TrainBatch(b, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	st := g.LastStats()
+	if st.StallTime != 7*time.Millisecond {
+		t.Fatalf("batch 0 StallTime = %v, want 7ms", st.StallTime)
+	}
+	if st.Retries != 0 || st.DeadDevices != 0 {
+		t.Fatalf("batch 0 recorded Retries=%d DeadDevices=%d, want 0/0", st.Retries, st.DeadDevices)
+	}
+
+	b = h.batch(t, 1, 60)
+	if _, err := g.TrainBatch(b, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	st = g.LastStats()
+	if st.Retries != 1 {
+		t.Fatalf("kill batch recorded %d retries, want 1", st.Retries)
+	}
+	if st.DeadDevices != 1 || g.DeadDevices() != 1 {
+		t.Fatalf("kill batch recorded DeadDevices=%d (group %d), want 1", st.DeadDevices, g.DeadDevices())
+	}
+	if st.Devices != 1 {
+		t.Fatalf("kill batch reports %d devices, want the surviving 1", st.Devices)
+	}
+}
+
+// TestGroupFaultLastDeviceDies: with no survivor to shrink onto, TrainBatch
+// surfaces the device loss instead of spinning.
+func TestGroupFaultLastDeviceDies(t *testing.T) {
+	h := newGroupHarness(t, "gcn", prep.FormatCSRCSC)
+	g, err := NewGroup(1, DefaultShards, gpusim.DefaultConfig(), true, h.factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetFaultPlan(fault.Schedule().Kill(0, 0))
+	b := h.batch(t, 0, 60)
+	defer b.Release()
+	_, err = g.TrainBatch(b, 0.05)
+	if err == nil {
+		t.Fatal("TrainBatch succeeded with its only device dead")
+	}
+	if !gpusim.IsDeviceLost(err) {
+		t.Fatalf("TrainBatch returned %v, want a device-lost error", err)
+	}
+}

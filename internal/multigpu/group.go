@@ -8,6 +8,7 @@ import (
 
 	"graphtensor/internal/core"
 	"graphtensor/internal/dkp"
+	"graphtensor/internal/fault"
 	"graphtensor/internal/gpusim"
 	"graphtensor/internal/graph"
 	"graphtensor/internal/kernels"
@@ -345,6 +346,12 @@ type GroupDev struct {
 
 	pcie *gpusim.PCIe
 
+	// id is the device's original group index — the coordinate the fault
+	// plan is consulted at. It survives group shrink (devs slide left when
+	// a dead device is dropped, ids do not renumber), so a plan targets
+	// the same physical device across failovers.
+	id int
+
 	// Per-batch state, touched only by this device's worker.
 	shards []int
 	err    error
@@ -390,6 +397,15 @@ type GroupStats struct {
 	// to hide behind) or on a fully contended fabric, 1 when the scatter is
 	// entirely off the critical path.
 	OverlapEfficiency float64
+	// DeadDevices counts devices lost to fault injection over the group's
+	// lifetime; Retries counts this step's dispatch re-runs after a device
+	// loss (the whole batch replays on the survivors — per-shard partials
+	// are fully overwritten, so a retry is numerically invisible).
+	// StallTime is the largest modeled stall injected into any device this
+	// step; it rides MaxDeviceCompute onto the step-time figures.
+	DeadDevices int
+	Retries     int
+	StallTime   time.Duration
 }
 
 // DeviceGroup is the data-parallel training engine: a persistent set of
@@ -431,8 +447,18 @@ type DeviceGroup struct {
 	norm       int
 	commBytes0 []int64
 	commNs0    []time.Duration
+	stall0     []time.Duration
 	shardOrder shardSorter
 	devLoads   []int
+
+	// Fault state: fplan is the deterministic injection schedule (nil in
+	// production — one predicted branch per batch), step the 0-based
+	// TrainBatch counter it is consulted at, deadDevs the lifetime death
+	// count.
+	fplan      *fault.Plan
+	step       int
+	deadDevs   int
+	retriesSum int
 
 	stats GroupStats
 }
@@ -486,6 +512,7 @@ func NewGroup(devices, shards int, cfg gpusim.Config, pinned bool,
 			Arena:  dev.NewArena(),
 			Model:  m,
 			pcie:   dev.PCIe(),
+			id:     i,
 			graphs: make([]kernels.Graphs, len(m.Layers)),
 			gptrs:  make([]*kernels.Graphs, len(m.Layers)),
 		}
@@ -503,6 +530,7 @@ func NewGroup(devices, shards int, cfg gpusim.Config, pinned bool,
 	}
 	g.commBytes0 = make([]int64, devices)
 	g.commNs0 = make([]time.Duration, devices)
+	g.stall0 = make([]time.Duration, devices)
 	g.shardOrder.s = make([]shardLoad, shards)
 	g.devLoads = make([]int, devices)
 	g.grads = make([][]shardGrad, shards)
@@ -563,6 +591,60 @@ func (g *DeviceGroup) Replica(i int) *core.Model { return g.devs[i].Model }
 
 // LastStats returns the statistics of the most recent TrainBatch.
 func (g *DeviceGroup) LastStats() GroupStats { return g.stats }
+
+// SetFaultPlan installs (or, with nil, removes) the group's deterministic
+// fault-injection schedule. The plan is consulted once per TrainBatch —
+// the batch boundary is the only place the engine's determinism
+// disciplines allow behaviour to change — with device = the device's
+// original group index and step = the 0-based TrainBatch count.
+func (g *DeviceGroup) SetFaultPlan(p *fault.Plan) { g.fplan = p }
+
+// DeadDevices reports how many devices fault injection has killed over
+// the group's lifetime.
+func (g *DeviceGroup) DeadDevices() int { return g.deadDevs }
+
+// Retries reports how many whole-batch replays device deaths have forced
+// over the group's lifetime (LastStats().Retries is the same count for the
+// most recent batch only).
+func (g *DeviceGroup) Retries() int { return g.retriesSum }
+
+// dropDead removes killed devices from the group, shrinking it to the
+// surviving set: their replicas are discarded (replicas are identical
+// before every Step, so nothing is lost) and the per-device scratch
+// re-slices to the new size. Returns false when no device survives.
+func (g *DeviceGroup) dropDead() bool {
+	keep := g.devs[:0]
+	for _, d := range g.devs {
+		if d.Dev.Alive() {
+			keep = append(keep, d)
+		} else {
+			g.deadDevs++
+		}
+	}
+	if len(keep) == len(g.devs) {
+		return false // device-lost error without a dead device: not ours to retry
+	}
+	g.devs = keep
+	g.devLoads = g.devLoads[:len(keep)]
+	g.commBytes0 = g.commBytes0[:len(keep)]
+	g.commNs0 = g.commNs0[:len(keep)]
+	g.stall0 = g.stall0[:len(keep)]
+	return len(keep) > 0
+}
+
+// clearGrads zeroes the replica's gradient accumulators — retry hygiene: a
+// dispatch aborted by a device loss may have left a survivor's shard
+// partially backpropagated, and the replay must start from zero.
+func (d *GroupDev) clearGrads() {
+	for _, l := range d.Model.Layers {
+		for i := range l.DW.Data {
+			l.DW.Data[i] = 0
+		}
+		for i := range l.DB {
+			l.DB[i] = 0
+		}
+	}
+}
 
 // assignShards maps shards to devices with LPT over final-layer edges
 // (heaviest shard to the lightest device, ties by lowest id), then orders
@@ -722,21 +804,57 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 		b.SubBatches = plan
 	}
 	g.plan, g.batch, g.norm = plan, b, len(b.Labels)
-	g.assignShards(plan)
+	step := g.step
+	g.step++
 
-	for i, d := range g.devs {
-		d.err = nil
-		g.commBytes0[i] = d.pcie.BytesMoved()
-		g.commNs0[i] = d.pcie.ModeledTime()
-	}
-
-	sched.RunChunk(len(g.devs), 1, sched.Workers(len(g.devs)), g, groupDeviceTask)
-
-	for _, d := range g.devs {
-		if d.err != nil {
-			g.plan, g.batch = nil, nil
-			return 0, d.err
+	// Dispatch with deterministic fault injection and batch-granularity
+	// failover: a device the plan kills fails its next shard at its first
+	// allocation, the dead device is dropped, and the *whole* batch
+	// replays on the survivors. The shard partition and fold order are
+	// fixed by the batch shape — not the device count — and no replica
+	// has applied a Step yet, so a retry is numerically invisible: the
+	// loss/weight trajectory is bitwise identical to a fault-free run.
+	retries := 0
+	for {
+		g.assignShards(plan)
+		for i, d := range g.devs {
+			d.err = nil
+			g.commBytes0[i] = d.pcie.BytesMoved()
+			g.commNs0[i] = d.pcie.ModeledTime()
+			g.stall0[i] = d.Dev.StallTime()
 		}
+		if g.fplan != nil {
+			for _, d := range g.devs {
+				if s := g.fplan.StallFor(d.id, step); s > 0 {
+					d.Dev.InjectStall(s)
+				}
+				if g.fplan.DeviceDies(d.id, step) {
+					d.Dev.Kill()
+				}
+			}
+		}
+
+		sched.RunChunk(len(g.devs), 1, sched.Workers(len(g.devs)), g, groupDeviceTask)
+
+		var devErr error
+		for _, d := range g.devs {
+			if d.err != nil {
+				devErr = d.err
+				break
+			}
+		}
+		if devErr == nil {
+			break
+		}
+		if !gpusim.IsDeviceLost(devErr) || !g.dropDead() {
+			g.plan, g.batch = nil, nil
+			return 0, devErr
+		}
+		for _, d := range g.devs {
+			d.clearGrads()
+		}
+		retries++
+		g.retriesSum++
 	}
 
 	// All-reduce: fold per-shard partials in ascending shard order — the
@@ -781,14 +899,19 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 	// Step statistics: compute scales with the busiest device; the scatter
 	// is the slowest device's modeled host→device time; the all-reduce
 	// rides the interconnect.
-	st := GroupStats{Devices: len(g.devs), Shards: g.shards, Imbalance: plan.Imbalance}
+	st := GroupStats{Devices: len(g.devs), Shards: g.shards, Imbalance: plan.Imbalance,
+		DeadDevices: g.deadDevs, Retries: retries}
 	tm := gpusim.DefaultKernelTimeModel()
 	for i, d := range g.devs {
 		st.Counters = st.Counters.Add(d.cnt)
 		if d.cnt.FLOPs > st.PeakDeviceFLOPs {
 			st.PeakDeviceFLOPs = d.cnt.FLOPs
 		}
-		if est := d.Dev.Estimate(tm, d.cnt); est > st.MaxDeviceCompute {
+		stall := d.Dev.StallTime() - g.stall0[i]
+		if stall > st.StallTime {
+			st.StallTime = stall
+		}
+		if est := d.Dev.Estimate(tm, d.cnt) + stall; est > st.MaxDeviceCompute {
 			st.MaxDeviceCompute = est
 		}
 		st.CommBytes += d.pcie.BytesMoved() - g.commBytes0[i]

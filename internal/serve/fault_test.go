@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"graphtensor/internal/fault"
+	"graphtensor/internal/frameworks"
+	"graphtensor/internal/graph"
+)
+
+// TestSubmitExpiredDeadlineFastPath: a Submit whose deadline already lapsed
+// fails immediately with ErrDeadlineExceeded without touching a shard
+// queue. The server is wedged with a full one-slot queue, so any path that
+// did touch the queue would block — immediate return is the proof.
+func TestSubmitExpiredDeadlineFastPath(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	release, cleanup := stallServing()
+	defer cleanup()
+	s, err := NewServer(tr, Config{MaxBatch: 1, MaxDelay: time.Hour, Replicas: 1, Shards: 1, QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	defer release()
+
+	// Fill the single queue slot (and the coalesce stage behind it).
+	out := make([]float32, 4*s.OutDim())
+	fills := make([]*Ticket, 0, 3)
+	for i := 0; i < 3; i++ {
+		tk, err := s.Submit(ds.BatchDsts(4, uint64(9_000+i)), out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fills = append(fills, tk)
+	}
+
+	expired := make(chan error, 1)
+	go func() {
+		_, err := s.SubmitDeadline(ds.BatchDsts(4, 9_100), make([]float32, 4*s.OutDim()), time.Now().Add(-time.Second))
+		expired <- err
+	}()
+	select {
+	case err := <-expired:
+		if !errors.Is(err, ErrDeadlineExceeded) {
+			t.Fatalf("expired SubmitDeadline returned %v, want ErrDeadlineExceeded", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("expired SubmitDeadline blocked on the full shard queue — fast path touched the queue")
+	}
+
+	// A pre-canceled context short-circuits the same way, with the
+	// context's own error, and is not counted as a deadline expiry.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SubmitCtx(ctx, ds.BatchDsts(4, 9_101), make([]float32, 4*s.OutDim())); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled SubmitCtx returned %v, want context.Canceled", err)
+	}
+
+	release()
+	for _, tk := range fills {
+		if err := tk.Wait(); err != nil {
+			t.Fatalf("filler query failed: %v", err)
+		}
+	}
+	st := s.Stats()
+	if st.Expired != 1 {
+		t.Fatalf("Stats.Expired = %d, want 1 (the fast-path refusal)", st.Expired)
+	}
+	if st.Queries != len(fills) {
+		t.Fatalf("Stats.Queries = %d, want %d — the refused query leaked into served counts", st.Queries, len(fills))
+	}
+}
+
+// TestDeadlineExpiresInFlight: queries whose deadline lapses while the
+// drain is stalled complete with ErrDeadlineExceeded — never silently
+// dropped — while an unbounded query submitted alongside them still serves.
+// Expiries are counted in the per-shard atomic stats.
+func TestDeadlineExpiresInFlight(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	release, cleanup := stallServing()
+	defer cleanup()
+	s, err := NewServer(tr, Config{MaxBatch: 4, MaxDelay: time.Millisecond, Replicas: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const nExp = 3
+	expTks := make([]*Ticket, nExp)
+	for i := range expTks {
+		expTks[i], err = s.SubmitDeadline(ds.BatchDsts(4, uint64(9_200+i)),
+			make([]float32, 4*s.OutDim()), time.Now().Add(30*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	freeTk, err := s.Submit(ds.BatchDsts(4, 9_250), make([]float32, 4*s.OutDim()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // let every deadline lapse while stalled
+	release()
+
+	for i, tk := range expTks {
+		if err := tk.Wait(); !errors.Is(err, ErrDeadlineExceeded) {
+			t.Fatalf("deadlined query %d completed with %v, want ErrDeadlineExceeded", i, err)
+		}
+	}
+	if err := freeTk.Wait(); err != nil {
+		t.Fatalf("unbounded query failed alongside expiring ones: %v", err)
+	}
+	st := s.Stats()
+	if st.Expired != nExp {
+		t.Fatalf("Stats.Expired = %d, want %d", st.Expired, nExp)
+	}
+	perShard := 0
+	for _, ss := range st.PerShard {
+		perShard += ss.Expired
+	}
+	if perShard != st.Expired {
+		t.Fatalf("per-shard expired sum %d != total %d", perShard, st.Expired)
+	}
+}
+
+// TestSubmitCtxCancelInFlight: cancelling a query's context while it is
+// queued completes its ticket with context.Canceled (not a deadline
+// expiry, not a silent drop).
+func TestSubmitCtxCancelInFlight(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	release, cleanup := stallServing()
+	defer cleanup()
+	s, err := NewServer(tr, Config{MaxBatch: 4, MaxDelay: time.Millisecond, Replicas: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	tk, err := s.SubmitCtx(ctx, ds.BatchDsts(4, 9_300), make([]float32, 4*s.OutDim()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	release()
+	if err := tk.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query completed with %v, want context.Canceled", err)
+	}
+	if st := s.Stats(); st.Expired != 0 {
+		t.Fatalf("cancellation was miscounted as a deadline expiry: Expired = %d", st.Expired)
+	}
+}
+
+// TestFailoverKillMidBatch: fault injection kills a replica's device on its
+// first batch; the whole micro-batch is re-enqueued and the survivor serves
+// the entire workload with logits bitwise identical to a fault-free run.
+// The stats record the failover and the shrunken replica set.
+func TestFailoverKillMidBatch(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	const n, qSize = 24, 8
+	queries := make([][]graph.VID, n)
+	for q := range queries {
+		queries[q] = ds.BatchDsts(qSize, uint64(9_400+q))
+	}
+	cfg := Config{MaxBatch: qSize, MaxDelay: 50 * time.Millisecond, Replicas: 2, Shards: 2}
+	want := queryLogits(t, tr, cfg, queries, false)
+
+	cfg.FaultPlan = fault.Schedule().Kill(0, 0)
+	s, err := NewServer(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := make([][]float32, n)
+	tks := make([]*Ticket, n)
+	for q := range queries {
+		outs[q] = make([]float32, qSize*s.OutDim())
+		if tks[q], err = s.Submit(queries[q], outs[q]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q, tk := range tks {
+		if err := tk.Wait(); err != nil {
+			t.Fatalf("query %d failed under failover: %v", q, err)
+		}
+	}
+	st := s.Stats()
+	s.Close()
+	for q := range queries {
+		for i, w := range want[q] {
+			if outs[q][i] != w {
+				t.Fatalf("query %d logit %d = %g, fault-free run %g — failover changed numerics", q, i, outs[q][i], w)
+			}
+		}
+	}
+	if st.DeadReplicas != 1 {
+		t.Fatalf("Stats.DeadReplicas = %d, want 1", st.DeadReplicas)
+	}
+	if st.FailedOver < 1 {
+		t.Fatalf("Stats.FailedOver = %d, want >= 1", st.FailedOver)
+	}
+	if st.Queries != n {
+		t.Fatalf("Stats.Queries = %d, want %d", st.Queries, n)
+	}
+}
+
+// TestFailoverAllReplicasDead: when fault injection kills the only
+// replica, queued queries complete with ErrReplicasLost — the server fails
+// its work rather than strand a single caller — and Close still drains
+// cleanly.
+func TestFailoverAllReplicasDead(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	cfg := Config{MaxBatch: 1, MaxDelay: time.Millisecond, Replicas: 1, Shards: 1,
+		FaultPlan: fault.Schedule().Kill(0, 0)}
+	s, err := NewServer(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	tks := make([]*Ticket, n)
+	for i := range tks {
+		if tks[i], err = s.Submit(ds.BatchDsts(4, uint64(9_500+i)), make([]float32, 4*s.OutDim())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, tk := range tks {
+		err := tk.Wait()
+		if err == nil {
+			t.Fatalf("query %d served by a dead fleet", i)
+		}
+		if !errors.Is(err, ErrReplicasLost) {
+			t.Fatalf("query %d completed with %v, want ErrReplicasLost", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.DeadReplicas != 1 {
+		t.Fatalf("Stats.DeadReplicas = %d, want 1", st.DeadReplicas)
+	}
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung with every replica dead")
+	}
+}
+
+// TestFailoverRacingClose is the Close-idempotency race guard alongside
+// TestBlockedSubmitRacingClose: two concurrent Closes race an in-flight
+// failover re-enqueue (a replica dies during the close drain). Neither
+// Close may panic, both must return, every admitted ticket must resolve,
+// and a third Close afterwards is a no-op.
+func TestFailoverRacingClose(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	release, cleanup := stallServing()
+	defer cleanup()
+	cfg := Config{MaxBatch: 4, MaxDelay: time.Millisecond, Replicas: 2, Shards: 2,
+		FaultPlan: fault.Schedule().Kill(0, 0)}
+	s, err := NewServer(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	tks := make([]*Ticket, n)
+	for i := range tks {
+		if tks[i], err = s.Submit(ds.BatchDsts(4, uint64(9_600+i)), make([]float32, 4*s.OutDim())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two Closes race each other and the stalled drain; the release lets
+	// the drain (and with it replica 0's death + re-enqueue) happen while
+	// the Closes are waiting.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	release()
+	closed := make(chan struct{})
+	go func() { wg.Wait(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(15 * time.Second):
+		t.Fatal("concurrent Closes never returned")
+	}
+	for i, tk := range tks {
+		done := make(chan error, 1)
+		go func(tk *Ticket) { done <- tk.Wait() }(tk)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("admitted query %d failed across Close+failover: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("query %d stranded by Close racing failover", i)
+		}
+	}
+	s.Close() // third Close: still a no-op
+	if st := s.Stats(); st.Queries != n {
+		t.Fatalf("served %d queries, want %d", st.Queries, n)
+	}
+}

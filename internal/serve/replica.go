@@ -37,6 +37,14 @@ type replica struct {
 	// infer is the retained FWP dispatch state (the GroupDev discipline):
 	// layer-graph views and the input header rebuilt in place per batch.
 	infer frameworks.InferDispatch
+
+	// attempt counts batches this replica has started — the step index the
+	// fault plan is consulted at. dead flips when this replica's device is
+	// lost *and* it was the last one alive: instead of exiting it keeps
+	// draining, completing everything with ErrReplicasLost, so admission
+	// shutdown still flows and no ticket is ever stranded.
+	attempt int
+	dead    bool
 }
 
 func newReplica(s *Server, id int) (*replica, error) {
@@ -58,15 +66,33 @@ func newReplica(s *Server, id int) (*replica, error) {
 }
 
 // drain serves micro-batches until admission has shut down and every queue
-// is empty.
+// is empty — or until this replica's device dies with survivors left to
+// take over (serveBatch returning false).
 func (r *replica) drain() {
-	defer r.srv.wg.Done()
+	s := r.srv
+	defer s.wg.Done()
 	for {
 		mb := r.next()
 		if mb == nil {
 			return
 		}
-		r.serveBatch(mb)
+		// serving brackets the batch: a failover requeue happens before
+		// the decrement, so a drained replica that reads serving==0 after
+		// admission shutdown knows its final queue sweep is conclusive.
+		s.serving.Add(1)
+		cont := r.serveBatch(mb)
+		s.serving.Add(-1)
+		select {
+		case <-s.admDone:
+			// Post-shutdown, a completion may be the event an idle
+			// replica is waiting on to decide between more work (a
+			// failover handoff) and exit; re-arm the wake token.
+			s.notifyWork()
+		default:
+		}
+		if !cont {
+			return
+		}
 	}
 }
 
@@ -90,11 +116,31 @@ func (r *replica) next() *microBatch {
 		case <-s.workReady:
 			// A shard flushed somewhere: re-poll everything.
 		case <-s.admDone:
-			// Admission drained and exited; one final sweep, then done.
+			// Admission drained and exited; sweep the queues one last
+			// time. But "queues empty" only means "fully drained" once no
+			// replica is mid-batch: an in-flight serve can still fail over
+			// and requeue its whole batch. A requeue strictly precedes the
+			// dying replica's serving decrement, so a zero read here makes
+			// the re-poll conclusive; otherwise block for the completion
+			// (or handoff) wake and re-evaluate.
 			if mb := r.poll(); mb != nil {
 				return mb
 			}
-			return nil
+			if s.serving.Load() == 0 {
+				if mb := r.poll(); mb != nil {
+					return mb
+				}
+				// Chain the wake so the other idle replicas re-evaluate
+				// and exit too.
+				s.notifyWork()
+				return nil
+			}
+			select {
+			case mb := <-r.home.batches:
+				r.rebaton()
+				return mb
+			case <-s.workReady:
+			}
 		}
 	}
 }
@@ -104,6 +150,13 @@ func (r *replica) next() *microBatch {
 // on the shard it was stolen from.
 func (r *replica) poll() *microBatch {
 	s := r.srv
+	// Failover handoffs first: a re-enqueued batch is the oldest work in
+	// the server (its queries have already waited one full serve). The
+	// counter check keeps this lock-free when no failover ever happened.
+	if mb := s.popOverflow(); mb != nil {
+		r.rebaton()
+		return mb
+	}
 	n := len(s.shards)
 	start := r.home.id
 	for i := 0; i < n; i++ {
@@ -124,6 +177,10 @@ func (r *replica) poll() *microBatch {
 // rebaton re-arms the wake token if batches remain queued anywhere, so the
 // single token keeps waking idle replicas until the queues are dry.
 func (r *replica) rebaton() {
+	if r.srv.overflowN.Load() > 0 {
+		r.srv.notifyWork()
+		return
+	}
 	for _, sh := range r.srv.shards {
 		if len(sh.batches) > 0 {
 			r.srv.notifyWork()
@@ -135,21 +192,65 @@ func (r *replica) rebaton() {
 // serveBatch runs one coalesced batch end to end: host-only cache-aware
 // preparation through the replica's warm slot, the miss-only modeled
 // scatter on the replica's own PCIe engine, FWP, and the per-ticket logit
-// scatter.
-func (r *replica) serveBatch(mb *microBatch) {
+// scatter. It returns false when this replica's device died and survivors
+// took the batch over — the drain loop then exits.
+func (r *replica) serveBatch(mb *microBatch) bool {
+	s := r.srv
+	if r.dead {
+		// Last replica standing, device lost: fail the work instead of
+		// stranding it (see failover).
+		s.complete(mb, time.Now(), ErrReplicasLost)
+		return true
+	}
 	if h := testHookServeBatch; h != nil {
 		h()
 	}
-	s := r.srv
+	// Deterministic fault injection, consulted strictly at the batch
+	// boundary: device = replica id, step = this replica's started-batch
+	// count. A killed device fails the batch at its first allocation
+	// below, on the ordinary error path.
+	if p := s.cfg.FaultPlan; p != nil {
+		step := r.attempt
+		r.attempt++
+		if d := p.StallFor(r.id, step); d > 0 {
+			r.dev.InjectStall(d)
+		}
+		if p.DeviceDies(r.id, step) {
+			r.dev.Kill()
+		}
+	}
 	b, err := s.sched.PrepareSlot(mb.dsts, nil, r.slot)
 	if err != nil {
 		s.complete(mb, time.Now(), err)
-		return
+		return true
 	}
 	err = r.inferBatch(b, mb)
 	b.Release()
 	r.slot.Recycle(b)
+	if err != nil && gpusim.IsDeviceLost(err) {
+		return r.failover(mb)
+	}
 	s.complete(mb, time.Now(), err)
+	return true
+}
+
+// failover handles this replica's device dying mid-batch. With survivors
+// left, the *whole* micro-batch is re-enqueued for one of them to steal —
+// batch granularity only, so composition (fixed at admission) and hence
+// every logit bit is preserved — and this replica exits, degrading the
+// server to the surviving replica set with backpressure intact. If this
+// was the last replica, it stays in its drain loop completing everything
+// with ErrReplicasLost: a dead fleet still never strands a ticket.
+func (r *replica) failover(mb *microBatch) bool {
+	s := r.srv
+	s.failovers.Add(1)
+	if s.alive.Add(-1) == 0 {
+		r.dead = true
+		s.complete(mb, time.Now(), ErrReplicasLost)
+		return true
+	}
+	s.requeue(mb)
+	return false
 }
 
 // inferBatch pays the batch's transfer, runs FWP on the replica's snapshot
@@ -163,6 +264,10 @@ func (r *replica) inferBatch(b *prep.Batch, mb *microBatch) error {
 
 	x, err := kernels.WrapDeviceMatrix(r.dev, b.Embed.Data, "serve-x")
 	if err != nil {
+		// Typically a device loss at the batch's first allocation; close
+		// the batch scope so the arena holds nothing when failover hands
+		// the work to a survivor.
+		r.endBatch()
 		return err
 	}
 	logits, err := r.infer.Infer(r.ctx, r.model, b, x)

@@ -44,12 +44,14 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"graphtensor/internal/cache"
+	"graphtensor/internal/fault"
 	"graphtensor/internal/frameworks"
 	"graphtensor/internal/graph"
 	"graphtensor/internal/metrics"
@@ -81,6 +83,12 @@ type Config struct {
 	// subtasks consult; resident vertices skip the modeled miss-only
 	// scatter every replica pays for its batches.
 	Cache *cache.Cache
+	// FaultPlan, when non-nil, injects the plan's deterministic device
+	// deaths and stalls into the replicas' devices at batch boundaries
+	// (device = replica id, step = that replica's served-batch count).
+	// Nil — the production configuration — costs one predicted branch
+	// per batch.
+	FaultPlan *fault.Plan
 }
 
 // DefaultConfig returns the serving defaults (≤512 dsts or 2ms).
@@ -91,6 +99,17 @@ func DefaultConfig() Config {
 // ErrClosed is returned for queries submitted to (or pending in) a closed
 // server.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrDeadlineExceeded is returned for queries whose deadline lapsed before
+// their logits were served. An expired query always completes with this
+// error — never silently dropped — and is counted in the per-shard Expired
+// stat.
+var ErrDeadlineExceeded = errors.New("serve: query deadline exceeded")
+
+// ErrReplicasLost is returned for queries caught in the queues after fault
+// injection has killed every replica's device: with no surviving device the
+// server fails the work rather than strand its callers.
+var ErrReplicasLost = errors.New("serve: every replica's device was lost")
 
 // testHookServeBatch, when set (before the server starts — tests only),
 // runs at the head of every replica's serveBatch. The backpressure tests
@@ -106,6 +125,12 @@ type Ticket struct {
 	enq  time.Time
 	next *Ticket    // SubmitMany chain link: one channel hop per shard
 	done chan error // buffered 1, retained across checkouts
+
+	// deadline and ctx carry the query's QoS bound (SubmitDeadline /
+	// SubmitCtx). Both zero — the plain Submit path — means the lapse
+	// checks reduce to two nil/zero tests and never read the clock.
+	deadline time.Time
+	ctx      context.Context
 }
 
 // Wait blocks until the query's logits have been scattered into the buffer
@@ -113,10 +138,46 @@ type Ticket struct {
 func (tk *Ticket) Wait() error {
 	err := <-tk.done
 	srv := tk.srv
-	tk.srv, tk.out, tk.next = nil, nil, nil
+	tk.srv, tk.out, tk.next, tk.ctx = nil, nil, nil, nil
+	tk.deadline = time.Time{}
 	tk.dsts = tk.dsts[:0]
 	srv.tickets.Put(tk)
 	return err
+}
+
+// lapsedErr classifies a query's QoS state at now: nil while live,
+// ErrDeadlineExceeded once the deadline (explicit or the context's) has
+// passed, the context's own error for a cancellation.
+func lapsedErr(ctx context.Context, deadline, now time.Time) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return ErrDeadlineExceeded
+			}
+			return err
+		}
+	}
+	if !deadline.IsZero() && !now.Before(deadline) {
+		return ErrDeadlineExceeded
+	}
+	return nil
+}
+
+// lapsed is the admission-time check: it reads the clock only when the
+// ticket actually carries a bound, so unbounded queries pay nothing.
+func (tk *Ticket) lapsed() error {
+	if tk.ctx == nil && tk.deadline.IsZero() {
+		return nil
+	}
+	return lapsedErr(tk.ctx, tk.deadline, time.Now())
+}
+
+// lapsedAt is the completion-time check against an already-taken stamp.
+func (tk *Ticket) lapsedAt(now time.Time) error {
+	if tk.ctx == nil && tk.deadline.IsZero() {
+		return nil
+	}
+	return lapsedErr(tk.ctx, tk.deadline, now)
 }
 
 // microBatch is one coalesced unit of work: the deduplicated union of its
@@ -154,6 +215,7 @@ type shard struct {
 	served  atomic.Int64
 	dsts    atomic.Int64
 	stolen  atomic.Int64
+	expired atomic.Int64
 	lat     *metrics.LatencyRing
 }
 
@@ -191,6 +253,21 @@ type Server struct {
 	// nothing is ever stranded.
 	closeMu sync.RWMutex
 	closing bool
+
+	// Failover state. alive counts replicas whose device has not been
+	// killed; serving counts replicas inside serveBatch — a requeue
+	// strictly precedes the dying replica's serving decrement, so once a
+	// drained replica reads serving==0 after admission shutdown, a final
+	// queue sweep is conclusive and it can exit without stranding a
+	// failover handoff. overflow holds re-enqueued micro-batches when a
+	// shard's bounded batch queue is full (mutex-guarded, but touched
+	// only on the cold failover path; the hot path reads overflowN).
+	alive      atomic.Int64
+	serving    atomic.Int64
+	failovers  atomic.Int64
+	overflowMu sync.Mutex
+	overflow   []*microBatch
+	overflowN  atomic.Int64
 
 	tickets sync.Pool
 	mbs     sync.Pool
@@ -231,6 +308,7 @@ func NewServer(tr *frameworks.Trainer, cfg Config) (*Server, error) {
 		stop:      make(chan struct{}),
 		admDone:   make(chan struct{}),
 	}
+	s.alive.Store(int64(cfg.Replicas))
 
 	pcfg := pipeline.DefaultConfig()
 	pcfg.Sampler = tr.SamplerConfig()
@@ -324,13 +402,16 @@ func (s *Server) getTicket(dsts []graph.VID, out []float32) *Ticket {
 	tk.dsts = append(tk.dsts[:0], dsts...)
 	tk.out = out
 	tk.next = nil
+	tk.ctx = nil
+	tk.deadline = time.Time{}
 	tk.enq = time.Now()
 	return tk
 }
 
 // putTicket returns an unsubmitted ticket to the pool.
 func (s *Server) putTicket(tk *Ticket) {
-	tk.srv, tk.out, tk.next = nil, nil, nil
+	tk.srv, tk.out, tk.next, tk.ctx = nil, nil, nil, nil
+	tk.deadline = time.Time{}
 	tk.dsts = tk.dsts[:0]
 	s.tickets.Put(tk)
 }
@@ -341,10 +422,45 @@ func (s *Server) putTicket(tk *Ticket) {
 // and may be reused immediately. A full admission shard blocks (that is the
 // engine's backpressure — queries are never dropped).
 func (s *Server) Submit(dsts []graph.VID, out []float32) (*Ticket, error) {
+	return s.submit(nil, time.Time{}, dsts, out)
+}
+
+// SubmitDeadline is Submit with a per-query deadline: a query not served
+// by then completes with ErrDeadlineExceeded (counted in the per-shard
+// Expired stat). A deadline already in the past fails immediately — the
+// ticketless fast path never touches a shard queue.
+func (s *Server) SubmitDeadline(dsts []graph.VID, out []float32, deadline time.Time) (*Ticket, error) {
+	return s.submit(nil, deadline, dsts, out)
+}
+
+// SubmitCtx is Submit bound to a context: the context's deadline becomes
+// the query's deadline (lapsing completes the ticket with
+// ErrDeadlineExceeded) and a cancellation completes it with the context's
+// error. The batch still computes — composition was fixed at admission —
+// so neither ever changes another query's logits.
+func (s *Server) SubmitCtx(ctx context.Context, dsts []graph.VID, out []float32) (*Ticket, error) {
+	deadline, _ := ctx.Deadline()
+	return s.submit(ctx, deadline, dsts, out)
+}
+
+func (s *Server) submit(ctx context.Context, deadline time.Time, dsts []graph.VID, out []float32) (*Ticket, error) {
 	if len(out) < len(dsts)*s.outDim {
 		return nil, errors.New("serve: logit buffer smaller than len(dsts) x OutDim")
 	}
+	// Fast-path short-circuit: a query whose bound has already lapsed is
+	// refused before a ticket is even checked out — no shard queue, no
+	// coalescing goroutine, no channel hop. It is still counted, on the
+	// shard it would have routed to.
+	if ctx != nil || !deadline.IsZero() {
+		if err := lapsedErr(ctx, deadline, time.Now()); err != nil {
+			if errors.Is(err, ErrDeadlineExceeded) {
+				s.shardFor(dsts).expired.Add(1)
+			}
+			return nil, err
+		}
+	}
 	tk := s.getTicket(dsts, out)
+	tk.ctx, tk.deadline = ctx, deadline
 	sh := s.shardFor(tk.dsts)
 	s.closeMu.RLock()
 	if s.closing {
@@ -472,8 +588,10 @@ func (s *Server) coalesce(sh *shard) {
 		for tk != nil {
 			nx := tk.next
 			tk.next = nil
+			// admit may leave cur nil: an expired ticket is completed
+			// instead of admitted and opens no batch.
 			cur = s.admit(sh, cur, tk)
-			if len(cur.dsts) >= s.cfg.MaxBatch {
+			if cur != nil && len(cur.dsts) >= s.cfg.MaxBatch {
 				flush()
 			}
 			tk = nx
@@ -519,6 +637,17 @@ func (s *Server) coalesce(sh *shard) {
 // deduplicating dsts across queries (two queries asking for the same vertex
 // share its row).
 func (s *Server) admit(sh *shard, cur *microBatch, tk *Ticket) *microBatch {
+	// A ticket whose bound lapsed while it sat in the admission queue is
+	// completed here with its error instead of joining a batch: expired
+	// queries are never silently dropped, and never cost a batch slot.
+	// The guard inside lapsed keeps unbounded tickets off the clock.
+	if err := tk.lapsed(); err != nil {
+		if errors.Is(err, ErrDeadlineExceeded) {
+			sh.expired.Add(1)
+		}
+		tk.done <- err
+		return cur
+	}
 	if cur == nil {
 		cur, _ = s.mbs.Get().(*microBatch)
 		if cur == nil {
@@ -588,9 +717,55 @@ func (s *Server) complete(mb *microBatch, now time.Time, err error) {
 		}
 	}
 	for _, tk := range mb.tickets {
-		tk.done <- err
+		final := err
+		if final == nil {
+			// Per-ticket deadline resolution: the batch computed (its
+			// composition was fixed at admission, so an expiring member
+			// can't perturb anyone else's logits), but a lapsed ticket
+			// reports ErrDeadlineExceeded rather than pretending it met
+			// its bound. Unbounded tickets skip the check entirely.
+			if e := tk.lapsedAt(now); e != nil {
+				final = e
+				if errors.Is(e, ErrDeadlineExceeded) {
+					sh.expired.Add(1)
+				}
+			}
+		}
+		tk.done <- final
 	}
 	s.putBatch(mb)
+}
+
+// requeue hands a dying replica's whole micro-batch to the surviving
+// replicas. The batch goes to the overflow list rather than back to its
+// shard's bounded queue (which may be full — blocking here would wedge the
+// dying replica), and the wake token makes an idle survivor sweep it up.
+// Batch granularity is the point: composition was fixed at admission, so
+// failover re-serves identical work and cannot change a logit bit.
+func (s *Server) requeue(mb *microBatch) {
+	s.overflowMu.Lock()
+	s.overflow = append(s.overflow, mb)
+	s.overflowN.Add(1)
+	s.overflowMu.Unlock()
+	s.notifyWork()
+}
+
+// popOverflow takes the oldest re-enqueued batch, if any. The counter
+// check keeps the no-fault poll path lock-free.
+func (s *Server) popOverflow() *microBatch {
+	if s.overflowN.Load() == 0 {
+		return nil
+	}
+	s.overflowMu.Lock()
+	defer s.overflowMu.Unlock()
+	if len(s.overflow) == 0 {
+		return nil
+	}
+	mb := s.overflow[0]
+	s.overflow[0] = nil
+	s.overflow = s.overflow[1:]
+	s.overflowN.Add(-1)
+	return mb
 }
 
 // Close stops admission (subsequent Submits fail with ErrClosed), serves
@@ -617,6 +792,10 @@ type ShardStats struct {
 	// Stolen counts this shard's batches that were served by a replica
 	// other than the shard's own (work-stealing at batch granularity).
 	Stolen int
+	// Expired counts this shard's queries that completed with
+	// ErrDeadlineExceeded (at submit, in the admission queue, or at
+	// completion).
+	Expired int
 }
 
 // Stats is the serving engine's throughput/latency report, in the
@@ -637,6 +816,13 @@ type Stats struct {
 	// CacheHitRate is the embedding cache's cumulative hit rate (0 without
 	// a cache).
 	CacheHitRate float64
+	// Expired counts queries that completed with ErrDeadlineExceeded;
+	// FailedOver counts whole micro-batches re-enqueued after a replica's
+	// device died; DeadReplicas is how many replicas fault injection has
+	// killed.
+	Expired      int
+	FailedOver   int
+	DeadReplicas int
 	// PerShard breaks the completed work down by admission shard.
 	PerShard []ShardStats
 }
@@ -649,16 +835,20 @@ func (s *Server) Stats() Stats {
 	var dsts int64
 	for _, sh := range s.shards {
 		q, b, d := sh.queries.Load(), sh.served.Load(), sh.dsts.Load()
-		ss := ShardStats{Queries: int(q), Batches: int(b), Stolen: int(sh.stolen.Load())}
+		ss := ShardStats{Queries: int(q), Batches: int(b), Stolen: int(sh.stolen.Load()),
+			Expired: int(sh.expired.Load())}
 		if b > 0 {
 			ss.MeanBatch = float64(d) / float64(b)
 		}
 		st.PerShard = append(st.PerShard, ss)
 		st.Queries += int(q)
 		st.Batches += int(b)
+		st.Expired += ss.Expired
 		dsts += d
 		lat = sh.lat.AppendTo(lat)
 	}
+	st.FailedOver = int(s.failovers.Load())
+	st.DeadReplicas = len(s.replicas) - int(s.alive.Load())
 	if st.Batches > 0 {
 		st.MeanBatch = float64(dsts) / float64(st.Batches)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"graphtensor/internal/cache"
 	"graphtensor/internal/datasets"
+	"graphtensor/internal/fault"
 	"graphtensor/internal/frameworks"
 	"graphtensor/internal/graph"
 	"graphtensor/internal/multigpu"
@@ -122,6 +123,15 @@ func TestCoalescedLogitsBitwise(t *testing.T) {
 				{"sharded-2-3-replicas", Config{MaxBatch: 2 * qSize, MaxDelay: 200 * time.Millisecond, Replicas: 3, Shards: 2}, 0, false},
 				{"sharded-4-1-proc", Config{MaxBatch: 2 * qSize, MaxDelay: 200 * time.Millisecond, Shards: 4}, 1, false},
 				{"submit-many-sharded-3", Config{MaxBatch: 2 * qSize, MaxDelay: 200 * time.Millisecond, Replicas: 2, Shards: 3}, 0, true},
+				// Kill-mid-batch runs: fault injection kills replicas'
+				// devices partway through the workload and failover
+				// re-enqueues their whole micro-batches for survivors to
+				// steal. Composition was fixed at admission, so failover
+				// cannot change a logit bit.
+				{"failover-kill-r0", Config{MaxBatch: qSize, MaxDelay: 200 * time.Millisecond, Replicas: 3,
+					FaultPlan: fault.Schedule().Kill(0, 0)}, 0, false},
+				{"failover-kill-2-of-3", Config{MaxBatch: qSize, MaxDelay: 200 * time.Millisecond, Replicas: 3, Shards: 4,
+					FaultPlan: fault.Schedule().Kill(0, 0).Kill(2, 1)}, 0, true},
 			}
 			for _, v := range variants {
 				if v.proc > 0 {

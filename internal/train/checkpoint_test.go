@@ -1,0 +1,154 @@
+package train
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"graphtensor/internal/datasets"
+	"graphtensor/internal/frameworks"
+)
+
+func groupTrainer(t *testing.T, nDev int) *frameworks.Trainer {
+	t.Helper()
+	ds, err := datasets.Generate("products", datasets.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := frameworks.DefaultOptions()
+	opt.BatchSize = 50
+	opt.NumDevices = nDev
+	tr, err := frameworks.New(frameworks.BaseGT, ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func flatWeights(tr *frameworks.Trainer) []float32 {
+	var w []float32
+	for _, l := range tr.Model.Layers {
+		w = append(w, l.W.Data...)
+		w = append(w, l.B...)
+	}
+	return w
+}
+
+// TestDriverCrashRestoreBitwise is the end-to-end crash-resume guarantee:
+// a run killed after 5 of 12 batches (simulated as a driver whose schedule
+// ends at batch 5, checkpointing there) resumes from the snapshot on a
+// DIFFERENT device count, picks up mid-epoch, and finishes with weights
+// bitwise identical to an uninterrupted 12-batch run.
+func TestDriverCrashRestoreBitwise(t *testing.T) {
+	ref := groupTrainer(t, 1)
+	if _, err := NewDriver(ref, Config{Epochs: 3, BatchesPerEpoch: 4, LearningRate: 0.1}, nil).Run(); err != nil {
+		t.Fatal(err)
+	}
+	refW := flatWeights(ref)
+
+	dir := t.TempDir()
+	// The "crashed" run: 2 devices, dies right after checkpointing batch 5.
+	crashed := groupTrainer(t, 2)
+	cfg := Config{Epochs: 1, BatchesPerEpoch: 5, LearningRate: 0.1,
+		CheckpointDir: dir, CheckpointEvery: 5}
+	if _, err := NewDriver(crashed, cfg, nil).Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume on 1 device with the real 3x4 schedule: restores cursor 5,
+	// trains the 3-batch tail of epoch 1 plus epoch 2.
+	resumed := groupTrainer(t, 1)
+	cfg = Config{Epochs: 3, BatchesPerEpoch: 4, LearningRate: 0.1,
+		CheckpointDir: dir, CheckpointEvery: 4, Resume: true}
+	h, err := NewDriver(resumed, cfg, nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Epochs) != 2 {
+		t.Fatalf("resumed run trained %d epochs, want the remaining 2", len(h.Epochs))
+	}
+	if h.Epochs[0].Epoch != 1 {
+		t.Fatalf("resumed run restarted at epoch %d, want mid-schedule epoch 1", h.Epochs[0].Epoch)
+	}
+	for i, w := range flatWeights(resumed) {
+		if w != refW[i] {
+			t.Fatalf("crash-resumed weight[%d] = %v, uninterrupted run %v", i, w, refW[i])
+		}
+	}
+}
+
+// TestDriverRestoreFallsBackPastCorrupt: when the newest snapshot is
+// damaged, Resume restores the previous good one and the finished run still
+// matches an uninterrupted reference bitwise. When every snapshot is
+// damaged, Run fails with ErrCheckpointCorrupt — never a silent zero-weight
+// restart.
+func TestDriverRestoreFallsBackPastCorrupt(t *testing.T) {
+	ref := groupTrainer(t, 1)
+	if _, err := NewDriver(ref, Config{Epochs: 3, BatchesPerEpoch: 3, LearningRate: 0.1}, nil).Run(); err != nil {
+		t.Fatal(err)
+	}
+	refW := flatWeights(ref)
+
+	dir := t.TempDir()
+	first := groupTrainer(t, 1)
+	cfg := Config{Epochs: 2, BatchesPerEpoch: 3, LearningRate: 0.1,
+		CheckpointDir: dir, CheckpointEvery: 3}
+	if _, err := NewDriver(first, cfg, nil).Run(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("checkpoint dir holds %d snapshots, want the pruned pair", len(names))
+	}
+
+	// Truncate the newest snapshot (batch 6); the good batch-3 one remains.
+	newest := filepath.Join(dir, names[len(names)-1].Name())
+	raw, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := groupTrainer(t, 1)
+	cfg = Config{Epochs: 3, BatchesPerEpoch: 3, LearningRate: 0.1,
+		CheckpointDir: dir, CheckpointEvery: 3, Resume: true}
+	h, err := NewDriver(resumed, cfg, nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Epochs) != 2 {
+		t.Fatalf("fallback resume trained %d epochs, want 2 (from batch 3)", len(h.Epochs))
+	}
+	for i, w := range flatWeights(resumed) {
+		if w != refW[i] {
+			t.Fatalf("fallback-resumed weight[%d] = %v, uninterrupted run %v", i, w, refW[i])
+		}
+	}
+
+	// Damage every snapshot: resume must refuse, not restart from zero.
+	names, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		p := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x10
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dead := groupTrainer(t, 1)
+	if _, err := NewDriver(dead, cfg, nil).Run(); !errors.Is(err, frameworks.ErrCheckpointCorrupt) {
+		t.Fatalf("all-corrupt resume returned %v, want ErrCheckpointCorrupt", err)
+	}
+}

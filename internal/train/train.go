@@ -6,7 +6,12 @@
 package train
 
 import (
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"graphtensor/internal/frameworks"
@@ -29,6 +34,21 @@ type Config struct {
 	EarlyStopPatience int
 	// Verbose prints per-epoch progress.
 	Verbose bool
+	// CheckpointDir enables fault-tolerant training: every CheckpointEvery
+	// consumed batches the driver snapshots the trainer there (rename-on-
+	// write, CRC-sealed, newest two kept). Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in global batches (<= 0 with
+	// CheckpointDir set defaults to BatchesPerEpoch).
+	CheckpointEvery int
+	// Resume restores the newest readable snapshot in CheckpointDir before
+	// training and continues the schedule from its cursor — a run killed at
+	// batch B resumes mid-epoch, even on a different device count, with a
+	// trajectory bitwise identical to an uninterrupted run. Corrupt
+	// snapshots are skipped in favor of the previous good one; a directory
+	// holding only corrupt snapshots is an error, never a silent
+	// zero-weight restart.
+	Resume bool
 }
 
 // DefaultConfig returns a reasonable training schedule.
@@ -96,15 +116,47 @@ func (d *Driver) Run() (*History, error) {
 	}
 	h := &History{}
 	sinceImprove := 0
+	// A resumed run picks up at the restored snapshot's global batch
+	// cursor: the first epoch trains only its remaining tail, and the ring
+	// is sized to the remaining schedule.
+	var start uint64
+	if d.cfg.Resume && d.cfg.CheckpointDir != "" {
+		var err error
+		if start, err = d.restoreLatest(); err != nil {
+			return nil, err
+		}
+	}
+	total := d.cfg.Epochs * d.cfg.BatchesPerEpoch
+	if int(start) >= total {
+		return h, nil
+	}
+	every := d.cfg.CheckpointEvery
+	if d.cfg.CheckpointDir != "" && every <= 0 {
+		every = d.cfg.BatchesPerEpoch
+	}
+	g := start
+	var after func(int, float64) error
+	if d.cfg.CheckpointDir != "" {
+		after = func(int, float64) error {
+			g++
+			if g%uint64(every) == 0 {
+				return d.checkpoint(g)
+			}
+			return nil
+		}
+	}
 	// Dst lists are drawn lazily on the ring's producer as each batch's
 	// preparation starts — the schedule-length sequence is never
 	// materialized, and early stopping wastes no generation.
-	total := d.cfg.Epochs * d.cfg.BatchesPerEpoch
-	ring := d.tr.NewRingN(total, func(int) []graph.VID { return d.tr.NextDsts() })
+	ring := d.tr.NewRingN(total-int(start), func(int) []graph.VID { return d.tr.NextDsts() })
 	defer ring.Stop()
-	for e := 0; e < d.cfg.Epochs; e++ {
+	for e := int(start) / d.cfg.BatchesPerEpoch; e < d.cfg.Epochs; e++ {
+		nb := d.cfg.BatchesPerEpoch
+		if rem := int(start) - e*d.cfg.BatchesPerEpoch; rem > 0 {
+			nb -= rem // resumed mid-epoch: train only the tail
+		}
 		t0 := time.Now()
-		wall, loss, err := d.tr.TrainStream(ring, d.cfg.BatchesPerEpoch)
+		loss, err := d.tr.TrainStreamHook(ring, nb, after)
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +164,7 @@ func (d *Driver) Run() (*History, error) {
 		if e == 0 {
 			_ = d.tr.Warmup(0) // fit from observations if DKP is enabled
 		}
-		res := EpochResult{Epoch: e, MeanLoss: loss, Wall: wall}
+		res := EpochResult{Epoch: e, MeanLoss: loss, Wall: time.Since(t0)}
 		if d.valDsts != nil && d.cfg.ValEvery > 0 && e%d.cfg.ValEvery == 0 {
 			acc, err := d.validate()
 			if err != nil {
@@ -153,4 +205,83 @@ func (d *Driver) validate() (float64, error) {
 	}
 	defer b.Release()
 	return d.tr.Evaluate(b)
+}
+
+// ckptPrefix names snapshot files; the zero-padded global batch cursor
+// makes lexicographic order the recovery order.
+const ckptPrefix = "ckpt-"
+
+// checkpoint snapshots the trainer at global batch g and prunes old
+// snapshots down to the newest two (the fallback pair: newest plus one
+// spare in case the newest is later found damaged).
+func (d *Driver) checkpoint(g uint64) error {
+	path := filepath.Join(d.cfg.CheckpointDir, fmt.Sprintf("%s%010d", ckptPrefix, g))
+	if err := d.tr.Checkpoint(path, g); err != nil {
+		return err
+	}
+	names, err := d.snapshots()
+	if err != nil {
+		return err
+	}
+	for _, old := range names[:max(0, len(names)-2)] {
+		if err := os.Remove(filepath.Join(d.cfg.CheckpointDir, old)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshots lists the checkpoint files in CheckpointDir, oldest first.
+func (d *Driver) snapshots() ([]string, error) {
+	entries, err := os.ReadDir(d.cfg.CheckpointDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), ckptPrefix) && !strings.Contains(e.Name(), ".tmp") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// restoreLatest restores the newest readable snapshot, scanning past
+// corrupt files to the previous good one. An empty (or absent) directory
+// starts fresh at batch 0; a directory holding only corrupt snapshots is an
+// error — training must never silently restart from zero weights when
+// checkpoints were expected to exist.
+func (d *Driver) restoreLatest() (uint64, error) {
+	names, err := d.snapshots()
+	if err != nil {
+		return 0, err
+	}
+	if len(names) == 0 {
+		return 0, nil
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		path := filepath.Join(d.cfg.CheckpointDir, names[i])
+		step, err := d.tr.Restore(path)
+		switch {
+		case err == nil:
+			return step, nil
+		case errors.Is(err, frameworks.ErrCheckpointCorrupt):
+			continue // fall back to the previous snapshot
+		default:
+			return 0, err // mismatched run — refusing beats clobbering
+		}
+	}
+	return 0, fmt.Errorf("train: every checkpoint in %s is corrupt: %w",
+		d.cfg.CheckpointDir, frameworks.ErrCheckpointCorrupt)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
