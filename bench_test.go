@@ -16,6 +16,7 @@ import (
 
 	"graphtensor/internal/cache"
 	"graphtensor/internal/datasets"
+	"graphtensor/internal/dkp"
 	"graphtensor/internal/experiments"
 	"graphtensor/internal/frameworks"
 	"graphtensor/internal/gpusim"
@@ -400,5 +401,22 @@ func BenchmarkTrainEpoch(b *testing.B) {
 		if _, _, err := tr.TrainEpoch(8); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPolicyDecide is the placement policy's hot path, paid once per
+// rearrangeable layer per forward/backward pass: a memoized shape-keyed
+// lookup that must cost one hash and zero locks — and hold at exactly 0
+// allocs/op (ratcheted in CI).
+func BenchmarkPolicyDecide(b *testing.B) {
+	pol := dkp.NewPolicy(dkp.ProfileFor(gpusim.DefaultConfig()))
+	shapes := dkp.DefaultSweep()
+	for _, d := range shapes {
+		pol.Decide(d, false, 0) // warm the memo
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pol.Decide(shapes[i%len(shapes)], false, 0)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"graphtensor/internal/datasets"
+	"graphtensor/internal/dkp"
 	"graphtensor/internal/frameworks"
 )
 
@@ -67,6 +68,11 @@ func main() {
 	}
 	fmt.Printf("training %s on %s with %s (%d batches of %d)\n",
 		strings.ToUpper(*model), *dataset, kind, *batches, *batchSz)
+	if kind == frameworks.DynamicGT || kind == frameworks.PreproGT {
+		prof := dkp.ProfileFor(opt.Device)
+		fmt.Printf("DKP cost model fitted offline for device class %s (%.1f%% error)\n",
+			prof.Class, 100*prof.FitErr)
+	}
 	start := time.Now()
 	for i := 0; i < *batches; i++ {
 		st, err := tr.TrainBatch()
@@ -76,11 +82,6 @@ func main() {
 		}
 		fmt.Printf("batch %2d  loss %.4f  prep %8v  compute %8v  flops %d\n",
 			i, st.Loss, st.Prep.Round(time.Microsecond), st.Compute.Round(time.Microsecond), st.Counters.FLOPs)
-		if i == 0 && (kind == frameworks.DynamicGT || kind == frameworks.PreproGT) {
-			if errFit, err := tr.Model.FitDKP(); err == nil {
-				fmt.Printf("          DKP cost model fitted (%.1f%% error)\n", 100*errFit)
-			}
-		}
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
 	if g := tr.Group(); g != nil {

@@ -33,7 +33,11 @@ import (
 func trainRun(ds *datasets.Dataset, numDevices, epochs int) (*train.History, *frameworks.Trainer, error) {
 	opt := frameworks.DefaultOptions()
 	opt.NumDevices = numDevices
-	tr, err := frameworks.New(frameworks.BaseGT, ds, opt)
+	// Dynamic-GT: the fitted placement policy is live on every device —
+	// decisions are a pure function of the fitted cost profile and each
+	// gradient shard's shape, so they cannot differ between the 1-device
+	// and 4-device runs.
+	tr, err := frameworks.New(frameworks.DynamicGT, ds, opt)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -79,6 +83,14 @@ func main() {
 	fmt.Printf("%-22s %14s %14s\n", "modeled step (serial)", st1.StepTimeSerial.Round(time.Microsecond), st4.StepTimeSerial.Round(time.Microsecond))
 	fmt.Printf("%-22s %14s %14s\n", "modeled step (overlap)", st1.StepTime.Round(time.Microsecond), st4.StepTime.Round(time.Microsecond))
 	fmt.Printf("%-22s %14s %13.2fx\n", "step speedup", "1.00x", float64(st1.StepTime)/float64(st4.StepTime))
+
+	fmt.Println("\nper-layer kernel placements over the last batch's gradient shards")
+	fmt.Println("(decided by the fitted cost profile; identical at any device count):")
+	for li := range st4.Placements {
+		fmt.Printf("  layer %d: 1 device  %2d aggr-first / %2d comb-first   4 devices  %2d aggr-first / %2d comb-first\n",
+			li, st1.Placements[li].AggrFirst, st1.Placements[li].CombFirst,
+			st4.Placements[li].AggrFirst, st4.Placements[li].CombFirst)
+	}
 
 	fmt.Println("\nper-device memory after training (device-arena discipline):")
 	for _, tr := range []*frameworks.Trainer{oneTr, fourTr} {

@@ -104,6 +104,11 @@ func main() {
 		fmt.Printf("    shard %d: %3d queries in %2d batches (mean %5.1f dsts/batch), %d stolen\n",
 			i, ss.Queries, ss.Batches, ss.MeanBatch, ss.Stolen)
 	}
+	for li, pc := range st.Placements {
+		fmt.Printf("    layer %d placement: %s (%d batches aggr-first, %d comb-first)\n",
+			li, map[bool]string{true: "combination-first", false: "aggregation-first"}[pc.CombFirst > pc.AggrFirst],
+			pc.AggrFirst, pc.CombFirst)
+	}
 	fmt.Printf("  throughput %.0f queries/s, cache hit rate %.1f%%, accuracy %.3f\n",
 		st.Throughput, 100*st.CacheHitRate, float64(correct)/float64(total))
 	fmt.Printf("  latency p50 %v  p90 %v  p99 %v  max %v\n",

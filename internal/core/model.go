@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"graphtensor/internal/dfg"
 	"graphtensor/internal/dkp"
@@ -41,10 +40,13 @@ type Config struct {
 	Strategy kernels.Strategy
 	Specs    []LayerSpec
 	Seed     uint64
-	// EnableDKP installs the Cost-DKP rewrite and lets the orchestrator
-	// choose placements at runtime (Dynamic-GT). Without it every layer
+	// EnableDKP installs the Cost-DKP rewrite and lets the policy choose
+	// placements per layer shape (Dynamic-GT). Without it every layer
 	// runs aggregation-first (Base-GT and the baselines' default).
 	EnableDKP bool
+	// Policy decides placements when EnableDKP is set. Nil falls back to a
+	// policy over the paper's Table I coefficients.
+	Policy *dkp.Policy
 	// ForcePlacement overrides the placement decision for every layer
 	// (used for the manual combination-first baseline variants whose
 	// spread Fig 15 shows as error bars). Nil means no override.
@@ -55,9 +57,13 @@ type Config struct {
 type Model struct {
 	Strategy kernels.Strategy
 	Layers   []*Layer
-	Orch     *dkp.Orchestrator
+	policy   *dkp.Policy
 	force    *dkp.Placement
-	dkpOn    bool
+	// layerForce pins one placement per layer (serving snapshots fix their
+	// placements at construction so a query's logits cannot depend on how
+	// the query was batched). Nil means decide per batch shape.
+	layerForce []dkp.Placement
+	dkpOn      bool
 }
 
 // NewModel initializes layer parameters (Glorot uniform) and builds the
@@ -70,7 +76,11 @@ func NewModel(cfg Config) (*Model, error) {
 		return nil, errors.New("core: model needs at least one layer")
 	}
 	rng := tensor.NewRNG(cfg.Seed + 1)
-	m := &Model{Strategy: cfg.Strategy, Orch: dkp.NewOrchestrator(), force: cfg.ForcePlacement, dkpOn: cfg.EnableDKP}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = dkp.NewPolicy(nil)
+	}
+	m := &Model{Strategy: cfg.Strategy, policy: pol, force: cfg.ForcePlacement, dkpOn: cfg.EnableDKP}
 	for i, spec := range cfg.Specs {
 		if err := spec.Modes.Validate(); err != nil {
 			return nil, fmt.Errorf("core: layer %d: %w", i, err)
@@ -125,13 +135,45 @@ func (m *Model) rearrangeable(l *Layer) bool {
 }
 
 // SetForcePlacement overrides (or, with nil, releases) the placement
-// decision for subsequent batches. The DKP warmup uses this to explore
-// both placements so the least-squares fit observes kernel times across
-// both shapes.
+// decision for subsequent batches, for the manual pinned-placement
+// baselines and the placement-equivalence tests.
 func (m *Model) SetForcePlacement(p *dkp.Placement) { m.force = p }
 
+// SetLayerPlacements pins one placement per layer. Serving snapshots use
+// this to fix placements at construction time — a pure function of the
+// trainer's profile and layer specs — so the logits a query receives are
+// independent of which replica serves it and how it was coalesced. The
+// rearrangeability gate still applies per layer. Nil releases the pins.
+func (m *Model) SetLayerPlacements(ps []dkp.Placement) {
+	if ps != nil && len(ps) != len(m.Layers) {
+		panic(fmt.Sprintf("core: %d layer placements for %d layers", len(ps), len(m.Layers)))
+	}
+	m.layerForce = ps
+}
+
+// LayerPlacements returns the per-layer pinned placements (nil when the
+// model decides per batch shape), with the rearrangeability gate applied.
+func (m *Model) LayerPlacements() []dkp.Placement {
+	if m.layerForce == nil {
+		return nil
+	}
+	out := make([]dkp.Placement, len(m.layerForce))
+	for i, p := range m.layerForce {
+		if p == dkp.CombFirst && !m.rearrangeable(m.Layers[i]) {
+			p = dkp.AggrFirst
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Policy returns the placement policy the model decides from.
+func (m *Model) Policy() *dkp.Policy { return m.policy }
+
 // Placement returns the execution order layer index li will use for the
-// given layer graph dimensions.
+// given layer graph dimensions. The decision is a pure function of the
+// policy's fitted profile and the layer shape — never of measured wall
+// time — so every replica evaluating the same shard shape agrees.
 func (m *Model) Placement(li int, g *kernels.Graphs) dkp.Placement {
 	l := m.Layers[li]
 	if m.force != nil {
@@ -140,12 +182,18 @@ func (m *Model) Placement(li int, g *kernels.Graphs) dkp.Placement {
 		}
 		return *m.force
 	}
-	if !m.dkpOn {
+	if m.layerForce != nil {
+		if p := m.layerForce[li]; p != dkp.CombFirst || m.rearrangeable(l) {
+			return p
+		}
+		return dkp.AggrFirst
+	}
+	if !m.dkpOn || !m.rearrangeable(l) {
 		return dkp.AggrFirst
 	}
 	nDst, nSrc, nEdge := g.Shape()
 	d := dkp.Dims{NSrc: nSrc, NDst: nDst, NEdge: nEdge, NFeat: l.Spec.InDim, NHid: l.Spec.OutDim}
-	return m.Orch.Decide(d, li == 0, m.rearrangeable(l), l.Spec.Modes.WeightCols(l.Spec.InDim))
+	return m.policy.Decide(d, li == 0, l.Spec.Modes.WeightCols(l.Spec.InDim))
 }
 
 // layerCache carries forward products a layer's backward pass needs.
@@ -164,6 +212,10 @@ type ForwardResult struct {
 	Logits *kernels.DeviceMatrix
 	caches []layerCache
 }
+
+// Placement returns the placement layer li used (allocation-free; the
+// group's per-shard placement counters read it on the hot path).
+func (fr *ForwardResult) Placement(li int) dkp.Placement { return fr.caches[li].placement }
 
 // Placements lists the placement each layer used.
 func (fr *ForwardResult) Placements() []dkp.Placement {
@@ -186,24 +238,19 @@ func (m *Model) Forward(ctx *kernels.Ctx, in *Input) (*ForwardResult, error) {
 		cache := &fr.caches[li]
 		cache.x = x
 		cache.placement = m.Placement(li, g)
-		nDst, nSrc, nEdge := g.Shape()
 		switch cache.placement {
 		case dkp.CombFirst:
 			if l.Spec.Modes.G == kernels.WeightNone {
 				// Generic comb-first: MatMul on the untransformed input,
 				// then the strategy's aggregation in the hidden width.
-				t0 := time.Now()
 				t, err := kernels.Linear(ctx, x, l.W, "combfirst-t")
 				if err != nil {
 					return nil, err
 				}
-				m.Orch.ObserveCombination(nSrc, l.Spec.InDim, l.Spec.OutDim, false, time.Since(t0))
-				t0 = time.Now()
 				out, err := m.Strategy.Forward(ctx, g, t, l.Spec.Modes)
 				if err != nil {
 					return nil, err
 				}
-				m.Orch.ObserveAggregation(nEdge, nDst, l.Spec.OutDim, false, time.Since(t0))
 				cache.cf = &kernels.CombFirstResult{Out: out, T: t}
 			} else {
 				res, err := kernels.CombFirstForward(ctx, g, x, l.W, l.Spec.Modes)
@@ -214,7 +261,6 @@ func (m *Model) Forward(ctx *kernels.Ctx, in *Input) (*ForwardResult, error) {
 			}
 			cache.out = cache.cf.Out
 		default: // aggregation-first
-			t0 := time.Now()
 			var agg *kernels.DeviceMatrix
 			if l.Spec.Modes.F == kernels.AggrMax {
 				// Max-pooling (GraphSAGE extension): a non-linear reduction
@@ -232,14 +278,11 @@ func (m *Model) Forward(ctx *kernels.Ctx, in *Input) (*ForwardResult, error) {
 					return nil, err
 				}
 			}
-			m.Orch.ObserveAggregation(nEdge, nDst, l.Spec.InDim, false, time.Since(t0))
 			cache.agg = agg
-			t0 = time.Now()
 			out, err := kernels.Linear(ctx, agg, l.W, "layer-out")
 			if err != nil {
 				return nil, err
 			}
-			m.Orch.ObserveCombination(nDst, l.Spec.InDim, l.Spec.OutDim, false, time.Since(t0))
 			cache.out = out
 		}
 		pre, err := kernels.BiasReLU(ctx, cache.out, l.B)
@@ -269,7 +312,6 @@ func (m *Model) Backward(ctx *kernels.Ctx, in *Input, fr *ForwardResult, dLogits
 		l := m.Layers[li]
 		cache := &fr.caches[li]
 		g := in.Graphs[li]
-		nDst, nSrc, nEdge := g.Shape()
 
 		if l.Spec.Activation {
 			if err := kernels.BiasReLUBackward(ctx, dOut, cache.pre, l.DB); err != nil {
@@ -292,18 +334,14 @@ func (m *Model) Backward(ctx *kernels.Ctx, in *Input, fr *ForwardResult, dLogits
 		switch cache.placement {
 		case dkp.CombFirst:
 			if l.Spec.Modes.G == kernels.WeightNone {
-				t0 := time.Now()
 				dT, err := m.Strategy.Backward(ctx, g, cache.cf.T, dOut, l.Spec.Modes)
 				if err != nil {
 					return err
 				}
-				m.Orch.ObserveAggregation(nEdge, nSrc, l.Spec.OutDim, true, time.Since(t0))
-				t0 = time.Now()
 				dx, err = kernels.LinearBackward(ctx, cache.x, dT, l.W, l.DW, "combfirst-dx")
 				if err != nil {
 					return err
 				}
-				m.Orch.ObserveCombination(nSrc, l.Spec.InDim, l.Spec.OutDim, true, time.Since(t0))
 				dT.Free()
 			} else {
 				var err error
@@ -313,14 +351,11 @@ func (m *Model) Backward(ctx *kernels.Ctx, in *Input, fr *ForwardResult, dLogits
 				}
 			}
 		default:
-			t0 := time.Now()
 			dAgg, err := kernels.LinearBackward(ctx, cache.agg, dOut, l.W, l.DW, "layer-dagg")
 			if err != nil {
 				return err
 			}
-			m.Orch.ObserveCombination(nDst, l.Spec.InDim, l.Spec.OutDim, true, time.Since(t0))
 			if li > 0 {
-				t0 = time.Now()
 				if l.Spec.Modes.F == kernels.AggrMax {
 					dx, err = kernels.SAGEPoolBackward(ctx, g, cache.x, dAgg, cache.argmax)
 				} else {
@@ -329,7 +364,6 @@ func (m *Model) Backward(ctx *kernels.Ctx, in *Input, fr *ForwardResult, dLogits
 				if err != nil {
 					return err
 				}
-				m.Orch.ObserveAggregation(nEdge, nSrc, l.Spec.InDim, true, time.Since(t0))
 			}
 			dAgg.Free()
 		}
@@ -385,10 +419,6 @@ func (m *Model) TrainStep(ctx *kernels.Ctx, in *Input, lr float32) (float64, err
 	fr.Logits.Free()
 	return loss, nil
 }
-
-// FitDKP runs the orchestrator's least-squares fit over the kernel timings
-// observed so far (call after the first epoch, as the paper does).
-func (m *Model) FitDKP() (float64, error) { return m.Orch.Fit() }
 
 // Infer runs forward propagation only (no gradients, no parameter update)
 // and returns the logits — the inference path of a trained model. Forward

@@ -1,18 +1,15 @@
 // Package dkp implements GraphTensor's dynamic kernel placement (§V-A):
-// the kernel orchestrator that decides, per GNN layer and at runtime,
-// whether the aggregation (Pull) or the combination's MatMul should execute
-// first, using the cost model of Table I with coefficients fitted by least
-// squares from measured kernel execution times during the first training
-// epoch.
+// the policy that decides, per GNN layer, whether the aggregation (Pull)
+// or the combination's MatMul executes first, using the cost model of
+// Table I. Coefficients are fitted offline by Calibrate, which sweeps
+// layer shapes through the kernel strategies on the GPU simulator and
+// least-squares fits the *modeled* kernel times — pure functions of shape
+// and device class, never wall time — so every replica that loads the same
+// Profile makes bit-identical placement decisions by construction. Policy
+// memoizes Decide in a lock-free shape-keyed table for the hot path, and
+// Recommend derives the serving batch/delay and gradient-shard knobs from
+// the same fitted cost model.
 package dkp
-
-import (
-	"fmt"
-	"sync"
-	"time"
-
-	"graphtensor/internal/lsq"
-)
 
 // Placement is a kernel execution order for one layer.
 type Placement int
@@ -54,7 +51,7 @@ type Coeffs struct {
 
 // PaperCoeffs returns the fitted coefficients the paper reports in Table I
 // (in microsecond-scale units on their RTX 3090 testbed). They serve as
-// the pre-fit defaults here.
+// the unfitted fallback whenever calibration is unavailable or rejected.
 func PaperCoeffs() Coeffs {
 	return Coeffs{
 		AlphaFWP: 6e-5, BetaFWP: 1e-5,
@@ -132,173 +129,4 @@ func ReductionRate(d Dims) (aggrFirst, combFirst float64) {
 	aggrFirst = in / (float64(d.NDst) * float64(d.NFeat)) // height shrinks
 	combFirst = in / (float64(d.NSrc) * float64(d.NHid))  // width shrinks
 	return aggrFirst, combFirst
-}
-
-// Orchestrator is the runtime component: it observes kernel execution
-// times during the first epoch, fits the cost model coefficients with
-// least-squares estimation, and answers placement queries. Before enough
-// samples accumulate it answers from the Table I defaults. Safe for
-// concurrent use.
-type Orchestrator struct {
-	mu     sync.Mutex
-	coeffs Coeffs
-	fitted bool
-	fitErr float64
-
-	// Observation design matrices: one row per measured kernel launch.
-	combFWP, combBWP samples // combination (Linear) kernels
-	aggrFWP, aggrBWP samples // aggregation (Pull/SpMM) kernels
-
-	// MinSamples gates fitting; the paper fits at the end of the first
-	// epoch's batches.
-	MinSamples int
-}
-
-type samples struct {
-	a [][]float64
-	b []float64
-}
-
-// NewOrchestrator returns an orchestrator primed with the paper's Table I
-// coefficients.
-func NewOrchestrator() *Orchestrator {
-	return &Orchestrator{coeffs: PaperCoeffs(), MinSamples: 4}
-}
-
-// Coeffs returns the current (default or fitted) coefficients.
-func (o *Orchestrator) Coeffs() Coeffs {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.coeffs
-}
-
-// Fitted reports whether least-squares fitting has replaced the defaults.
-func (o *Orchestrator) Fitted() bool {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.fitted
-}
-
-// FitError returns the mean relative error of the last fit (the paper
-// reports 12.5% for its testbed).
-func (o *Orchestrator) FitError() float64 {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.fitErr
-}
-
-// ObserveCombination records a measured combination (MatMul) kernel time
-// for rows×nFeat×nHid work in the given direction.
-func (o *Orchestrator) ObserveCombination(rows, nFeat, nHid int, bwp bool, d time.Duration) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	s := &o.combFWP
-	if bwp {
-		s = &o.combBWP
-	}
-	s.a = append(s.a, []float64{
-		float64(rows) * float64(nHid) * float64(nFeat),
-		float64(rows) * float64(nHid),
-	})
-	s.b = append(s.b, float64(d.Microseconds()))
-}
-
-// ObserveAggregation records a measured aggregation kernel time for a
-// layer of nEdge edges, nDst dsts (nSrc for BWP) and feature width dim.
-func (o *Orchestrator) ObserveAggregation(nEdge, nVertexSide, dim int, bwp bool, d time.Duration) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	s := &o.aggrFWP
-	if bwp {
-		s = &o.aggrBWP
-	}
-	s.a = append(s.a, []float64{
-		float64(nEdge) * float64(dim),
-		float64(nVertexSide) * float64(dim),
-	})
-	s.b = append(s.b, float64(d.Microseconds()))
-}
-
-// Fit runs least-squares estimation over the collected samples and
-// installs the fitted coefficients. It returns the mean relative error.
-func (o *Orchestrator) Fit() (float64, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if len(o.combFWP.b) < o.MinSamples || len(o.aggrFWP.b) < o.MinSamples {
-		return 0, fmt.Errorf("dkp: not enough samples (comb %d, aggr %d, need %d)",
-			len(o.combFWP.b), len(o.aggrFWP.b), o.MinSamples)
-	}
-	c := o.coeffs
-	var errs []float64
-	fit2 := func(s samples, p1, p2 *float64) error {
-		if len(s.b) < 2 {
-			return nil
-		}
-		x, err := lsq.Solve(s.a, s.b)
-		if err == lsq.ErrSingular {
-			// Sampled graphs with uniform fanout make the two design
-			// columns exactly collinear (nEdge = k·nDst); fall back to the
-			// dominant single-coefficient model.
-			var num, den float64
-			for r := range s.a {
-				num += s.a[r][0] * s.b[r]
-				den += s.a[r][0] * s.a[r][0]
-			}
-			if den == 0 {
-				return lsq.ErrSingular
-			}
-			x = []float64{num / den, 0}
-			err = nil
-		}
-		if err != nil {
-			return err
-		}
-		*p1, *p2 = x[0], x[1]
-		errs = append(errs, lsq.MeanAbsErr(s.a, s.b, x))
-		return nil
-	}
-	if err := fit2(o.combFWP, &c.AlphaFWP, &c.BetaFWP); err != nil {
-		return 0, err
-	}
-	if err := fit2(o.combBWP, &c.AlphaBWP, &c.BetaBWP); err != nil {
-		return 0, err
-	}
-	if err := fit2(o.aggrFWP, &c.GammaFWP, &c.DeltaFWP); err != nil {
-		return 0, err
-	}
-	if err := fit2(o.aggrBWP, &c.GammaBWP, &c.DeltaBWP); err != nil {
-		return 0, err
-	}
-	var sum float64
-	for _, e := range errs {
-		sum += e
-	}
-	if len(errs) > 0 {
-		o.fitErr = sum / float64(len(errs))
-	}
-	// Sanity-gate the fit: a least-squares solve over few shapes can push
-	// a secondary coefficient slightly negative — clamp those to zero. A
-	// grossly poor fit (>100% mean error) keeps the defaults instead.
-	for _, p := range []*float64{&c.AlphaFWP, &c.BetaFWP, &c.AlphaBWP, &c.BetaBWP, &c.GammaFWP, &c.DeltaFWP, &c.GammaBWP, &c.DeltaBWP} {
-		if *p < 0 {
-			*p = 0
-		}
-	}
-	if o.fitErr > 1.0 {
-		return o.fitErr, nil
-	}
-	o.coeffs = c
-	o.fitted = true
-	return o.fitErr, nil
-}
-
-// Decide returns the placement for a layer, combining the cost model with
-// the exactness gate: layers whose modes admit no exact rewrite always run
-// aggregation-first regardless of the estimate. weightCols is the layer's
-// edge-weight width (see CombFirstBenefit).
-func (o *Orchestrator) Decide(d Dims, firstLayer, rearrangeable bool, weightCols int) Placement {
-	if !rearrangeable {
-		return AggrFirst
-	}
-	return o.Coeffs().Decide(d, firstLayer, weightCols)
 }

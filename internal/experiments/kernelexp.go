@@ -36,11 +36,6 @@ func computeLatency(cfg Config, kind frameworks.Kind, ds *datasets.Dataset, mode
 	if err != nil {
 		return 0, nil, err
 	}
-	if kind == frameworks.DynamicGT || kind == frameworks.PreproGT {
-		if err := tr.Warmup(2); err != nil {
-			return 0, nil, err
-		}
-	}
 	// Report the minimum over batches: the paper measures isolated kernel
 	// times with Nsight; the minimum is the standard noise-robust proxy.
 	var best time.Duration
@@ -247,9 +242,9 @@ func runFig17(cfg Config) (*Result, error) {
 // runFig18 compares Base-GT and Dynamic-GT on the FLOPs and global memory
 // accesses of the kernels DKP rearranges — the sparse aggregation and edge
 // weighting stages (paper: DKP cuts FLOPs by 5.4× and global accesses by
-// 1.4× on average). Dynamic-GT runs with the paper's Table I coefficients
-// (the RTX 3090 decision point) so the placement choices mirror the
-// paper's; the work counters themselves are hardware-independent.
+// 1.4× on average). Dynamic-GT places kernels from the profile fitted for
+// the simulated device class at construction; the work counters themselves
+// are hardware-independent.
 func runFig18(cfg Config) (*Result, error) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-12s %-6s %14s %14s %12s %12s\n",
@@ -266,8 +261,6 @@ func runFig18(cfg Config) (*Result, error) {
 				if err != nil {
 					return gpusim.Counters{}, err
 				}
-				// No warmup fit: the Table I defaults stay active, so
-				// Dynamic-GT places kernels as it would on the paper GPU.
 				tr.Engine.Ctx.ResetPhaseWork()
 				if _, err := tr.TrainBatch(); err != nil {
 					return gpusim.Counters{}, err
@@ -343,41 +336,26 @@ func runFig11b(cfg Config) (*Result, error) {
 	return &Result{Text: sb.String()}, nil
 }
 
-// runTable1 fits the DKP cost model coefficients from measured kernel
-// timings (least-squares, §V-A) and reports the fit error (paper: 12.5%).
+// runTable1 fits the DKP cost model coefficients offline (least-squares
+// over modeled kernel times on a calibration sweep, §V-A) and reports the
+// fit error (paper: 12.5%). This is the same fit every Dynamic-GT trainer
+// runs at construction via dkp.ProfileFor.
 func runTable1(cfg Config) (*Result, error) {
-	ds, err := loadDataset(cfg, "products")
+	prof, err := dkp.Calibrate(cfg.device())
 	if err != nil {
 		return nil, err
 	}
-	tr, err := newTrainer(cfg, frameworks.DynamicGT, ds, "gcn")
-	if err != nil {
-		return nil, err
-	}
-	// One "epoch" of observation batches, exploring both placements so the
-	// least-squares fit sees kernel shapes from both orders. At least four
-	// batches are needed to meet the fit's minimum-sample requirement.
-	batches := cfg.batches(6)
-	if batches < 4 {
-		batches = 4
-	}
-	if err := tr.Warmup(batches); err != nil {
-		return nil, err
-	}
-	fitErr := tr.Model.Orch.FitError()
-	if !tr.Model.Orch.Fitted() {
-		// Fall back to an explicit fit (Warmup swallows fit errors).
-		if fitErr, err = tr.Model.FitDKP(); err != nil {
-			return nil, err
-		}
-	}
-	c := tr.Model.Orch.Coeffs()
+	c := prof.Coeffs
 	var sb strings.Builder
-	sb.WriteString("fitted cost model coefficients (µs units, this machine):\n")
+	fmt.Fprintf(&sb, "device class %s, fitted=%v\n", prof.Class, prof.Fitted)
+	sb.WriteString("fitted cost model coefficients (µs units, this device class):\n")
 	fmt.Fprintf(&sb, "  FWP aggr-first:  α=%.3g β=%.3g   (paper: α=6e-5, β=1e-5)\n", c.AlphaFWP, c.BetaFWP)
 	fmt.Fprintf(&sb, "  BWP aggr-first:  α=%.3g β=%.3g   (paper: α=1e-7, β=4e-6)\n", c.AlphaBWP, c.BetaBWP)
 	fmt.Fprintf(&sb, "  FWP comb-first:  γ=%.3g δ=%.3g   (paper: γ=1e-3, δ=1e-12)\n", c.GammaFWP, c.DeltaFWP)
 	fmt.Fprintf(&sb, "  BWP comb-first:  γ=%.3g δ=%.3g   (paper: γ=1e-6, δ=1e-8)\n", c.GammaBWP, c.DeltaBWP)
-	fmt.Fprintf(&sb, "\nmean relative fit error: %.1f%%   (paper: 12.5%%)\n", 100*fitErr)
+	fmt.Fprintf(&sb, "\nmean relative fit error: %.1f%%   (paper: 12.5%%)\n", 100*prof.FitErr)
+	rec := prof.Recommend()
+	fmt.Fprintf(&sb, "derived defaults: serving MaxBatch=%d MaxDelay=%v, group GradShards=%d\n",
+		rec.MaxBatch, rec.MaxDelay, rec.GradShards)
 	return &Result{Text: sb.String()}, nil
 }

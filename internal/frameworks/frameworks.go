@@ -111,12 +111,14 @@ type Options struct {
 	// multigpu.DeviceGroup of that many devices. Every batch is carved into
 	// GradShards shape-fixed gradient shards, so the loss/weight trajectory
 	// is bitwise identical at any NumDevices in [1, GradShards] and any
-	// GOMAXPROCS. DKP is pinned to aggregation-first under data parallelism
-	// (its timing-driven placement would let replicas diverge).
+	// GOMAXPROCS. DKP stays live under data parallelism: placements are a
+	// pure function of the fitted profile and each shard's shape, so every
+	// replica evaluating the same shard makes the same choice.
 	NumDevices int
 	// GradShards is the fixed gradient-shard count of the data-parallel
-	// engine (0 = multigpu.DefaultShards). Trajectories are comparable
-	// across device counts only for an identical shard count.
+	// engine (0 derives it from the device class via dkp.Recommend).
+	// Trajectories are comparable across device counts only for an
+	// identical shard count.
 	GradShards int
 	// FaultPlan injects a deterministic fault schedule into the
 	// data-parallel device group (nil = fault-free; ignored without
@@ -159,6 +161,9 @@ type Trainer struct {
 	group      *multigpu.DeviceGroup
 	cache      *cache.Cache
 	batchSeq   uint64
+	// policy is the shared shape-keyed placement policy of DKP frameworks
+	// (nil otherwise), fitted offline for the trainer's device class.
+	policy *dkp.Policy
 
 	// infer is the retained FWP-only dispatch state of InferBatch: the
 	// layer-graph views and the input header are rebuilt in place per
@@ -230,16 +235,21 @@ func New(kind Kind, ds *datasets.Dataset, opt Options) (*Trainer, error) {
 		t.samplerCfg.Workers = 1
 	}
 
+	if kind == DynamicGT || kind == PreproGT {
+		// The placement policy is fitted offline per device class from
+		// modeled kernel times; one instance is shared by every replica
+		// (decisions are pure functions of the profile, so sharing is an
+		// optimization, not a correctness requirement).
+		t.policy = dkp.NewPolicy(dkp.ProfileFor(opt.Device))
+	}
 	mp := t.modelParams()
 	if opt.NumDevices >= 1 {
-		// Data-parallel engine: one weight replica per device, DKP off (the
-		// orchestrator decides from measured wall time, which would let
-		// replicas diverge; the group pins aggregation-first anyway).
-		rp := mp
-		rp.EnableDKP = false
+		// Data-parallel engine: one weight replica per device. DKP stays
+		// live — placements are pure functions of the fitted profile and
+		// the shard shape, identical on every replica by construction.
 		var err error
 		t.group, err = multigpu.NewGroup(opt.NumDevices, opt.GradShards, opt.Device, t.pinned,
-			func() (*core.Model, error) { return models.ByName(opt.Model, rp) })
+			func() (*core.Model, error) { return models.ByName(opt.Model, mp) })
 		if err != nil {
 			return nil, err
 		}
@@ -284,6 +294,7 @@ func (t *Trainer) modelParams() models.Params {
 		Seed:      t.Opt.Seed,
 		Strategy:  t.strategy,
 		EnableDKP: t.Kind == DynamicGT || t.Kind == PreproGT,
+		Policy:    t.policy,
 	}
 }
 
@@ -295,9 +306,13 @@ func (t *Trainer) OutDim() int {
 
 // SnapshotModel builds a fresh replica of the trainer's architecture and
 // copies the current trained weights into it — the weight snapshot a
-// serving replica binds. Like the data-parallel replicas, the snapshot pins
-// kernel placement to aggregation-first: DKP decides from measured wall
-// time, which would let replicas serving the same query diverge bitwise.
+// serving replica binds. The snapshot fixes one placement per layer at
+// construction, computed from the fitted profile and the trainer's
+// canonical batch shape (ServingPlacements): a pure function of trainer
+// state, never of the serving configuration or of how a query was
+// coalesced, so a query's logits are bitwise identical on any replica at
+// any batch composition. Per-batch shape-keyed decisions stay a training
+// optimization.
 func (t *Trainer) SnapshotModel() (*core.Model, error) {
 	mp := t.modelParams()
 	mp.EnableDKP = false
@@ -309,9 +324,55 @@ func (t *Trainer) SnapshotModel() (*core.Model, error) {
 		copy(m.Layers[li].W.Data, l.W.Data)
 		copy(m.Layers[li].B, l.B)
 	}
-	p := dkp.AggrFirst
-	m.SetForcePlacement(&p)
+	m.SetLayerPlacements(t.ServingPlacements())
 	return m, nil
+}
+
+// ServingPlacements returns the fixed per-layer placements a serving
+// snapshot pins: the policy evaluated on the trainer's canonical layer
+// shapes (servingDims). Non-DKP frameworks pin aggregation-first
+// throughout. The result depends only on trainer-level state (profile,
+// model architecture, sampling configuration, dataset size), which is what
+// makes coalesced and serial serving bitwise identical with the policy
+// live.
+func (t *Trainer) ServingPlacements() []dkp.Placement {
+	ps := make([]dkp.Placement, len(t.Model.Layers))
+	if t.policy == nil {
+		return ps // zero value: aggregation-first
+	}
+	for li, l := range t.Model.Layers {
+		ps[li] = t.policy.Decide(t.servingDims(li), li == 0, l.Spec.Modes.WeightCols(l.Spec.InDim))
+	}
+	return ps
+}
+
+// servingDims models the expected shape of layer li's sampled subgraph for
+// a canonical batch of Opt.BatchSize dsts: each hop below the batch
+// multiplies the frontier by the sampling branch factor (Fanout plus the
+// self edge), capped by the dataset's vertex count. Layer 0 executes first
+// on the largest frontier.
+func (t *Trainer) servingDims(li int) dkp.Dims {
+	branch := t.Opt.Fanout + 1 // sampled neighbors + self edge
+	nv := t.Dataset.NumVertices()
+	capped := func(n int) int {
+		if n > nv {
+			return nv
+		}
+		return n
+	}
+	nDst := t.Opt.BatchSize
+	for hop := 0; hop < t.Opt.Layers-1-li; hop++ {
+		nDst = capped(nDst * branch)
+	}
+	nSrc := capped(nDst * branch)
+	l := t.Model.Layers[li]
+	return dkp.Dims{
+		NSrc:  nSrc,
+		NDst:  nDst,
+		NEdge: nDst * branch,
+		NFeat: l.Spec.InDim,
+		NHid:  l.Spec.OutDim,
+	}
 }
 
 // BatchStats reports one end-to-end training batch.
@@ -648,33 +709,16 @@ func (t *Trainer) SimulatedEpoch(n int) (time.Duration, error) {
 	return total, nil
 }
 
-// Warmup runs the first-epoch observation pass and fits the DKP cost
-// model from the measured kernel timings (§V-A). For DKP frameworks the
-// warmup alternates forced placements so the least-squares fit sees kernel
-// shapes from both orders; frameworks without DKP just run n batches.
+// Warmup runs n training batches before measurement. The DKP cost model
+// is fitted offline by dkp.Calibrate at engine construction, so no
+// first-epoch observation pass remains — warmup only brings caches and
+// pools to steady state.
 func (t *Trainer) Warmup(n int) error {
-	if t.group != nil || (t.Kind != DynamicGT && t.Kind != PreproGT) {
-		for i := 0; i < n; i++ {
-			if _, err := t.TrainBatch(); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	af, cf := dkp.AggrFirst, dkp.CombFirst
-	defer t.Model.SetForcePlacement(nil)
 	for i := 0; i < n; i++ {
-		t.Model.SetForcePlacement(&af)
-		if _, err := t.TrainBatch(); err != nil {
-			return err
-		}
-		t.Model.SetForcePlacement(&cf)
 		if _, err := t.TrainBatch(); err != nil {
 			return err
 		}
 	}
-	// Not enough variation to fit is fine; the defaults stay active.
-	_, _ = t.Model.FitDKP()
 	return nil
 }
 

@@ -52,6 +52,70 @@ func TestDimensionMismatch(t *testing.T) {
 	}
 }
 
+// TestSquareExactSystem: m == n (as many samples as unknowns) with a
+// consistent, well-conditioned system must be recovered exactly — the
+// normal equations reduce to the original system.
+func TestSquareExactSystem(t *testing.T) {
+	a := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{7, 11} // x = [2, 3]
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Errorf("got %v want [2 3]", x)
+	}
+	if e := MeanAbsErr(a, b, x); e > 1e-9 {
+		t.Errorf("exact system should have ~0 fit error, got %g", e)
+	}
+}
+
+// TestIllConditionedColumns: nearly (but not perfectly) collinear columns —
+// the regime DKP's calibration designs can approach when a sweep barely
+// varies one dimension. The solver must either recover coefficients that
+// reproduce b, or report ErrSingular — never return garbage silently.
+func TestIllConditionedColumns(t *testing.T) {
+	const eps = 1e-9
+	a := [][]float64{
+		{1, 1 + eps},
+		{2, 2 + 2*eps},
+		{3, 3 + 3*eps},
+		{4, 4 + 4*eps},
+	}
+	b := []float64{3, 6, 9, 12} // consistent with x0 + 2*x1 ≈ 3 along the shared direction
+	x, err := Solve(a, b)
+	if err == ErrSingular {
+		return // acceptable: detected as numerically singular
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MeanAbsErr(a, b, x); e > 1e-3 {
+		t.Errorf("ill-conditioned solve returned garbage: coeffs %v, rel err %g", x, e)
+	}
+}
+
+// TestNearSingularScaled: wildly different column scales (edge-count terms
+// ~1e6 against per-row terms ~1e0, as in the calibration designs) must not
+// trip the singularity pivot threshold.
+func TestNearSingularScaled(t *testing.T) {
+	a := [][]float64{
+		{1e6, 1}, {2e6, 3}, {4e6, 2}, {8e6, 5},
+	}
+	want := []float64{3e-5, 0.25}
+	b := make([]float64, len(a))
+	for i, row := range a {
+		b[i] = row[0]*want[0] + row[1]*want[1]
+	}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-want[0]) > 1e-9 || math.Abs(x[1]-want[1]) > 1e-6 {
+		t.Errorf("got %v want %v", x, want)
+	}
+}
+
 // Property: for an exactly-determined consistent system, Solve recovers the
 // coefficients.
 func TestQuickExactRecovery(t *testing.T) {

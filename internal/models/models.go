@@ -22,9 +22,12 @@ type Params struct {
 	Seed   uint64
 	// Strategy defaults to NAPA.
 	Strategy kernels.Strategy
-	// EnableDKP turns on the dynamic kernel placement orchestrator
-	// (Dynamic-GT); ForcePlacement pins a static order instead.
+	// EnableDKP turns on dynamic kernel placement (Dynamic-GT); Policy
+	// supplies the fitted cost model it decides from (nil falls back to
+	// the paper's Table I coefficients). ForcePlacement pins a static
+	// order instead.
 	EnableDKP      bool
+	Policy         *dkp.Policy
 	ForcePlacement *dkp.Placement
 }
 
@@ -60,6 +63,7 @@ func (p Params) build(m kernels.Modes) (*core.Model, error) {
 		Specs:          specs,
 		Seed:           p.Seed,
 		EnableDKP:      p.EnableDKP,
+		Policy:         p.Policy,
 		ForcePlacement: p.ForcePlacement,
 	})
 }

@@ -359,6 +359,15 @@ type GroupDev struct {
 	graphs []kernels.Graphs
 	gptrs  []*kernels.Graphs
 	input  core.Input
+	// plc counts this batch's per-layer placement decisions across the
+	// device's shards (merged into GroupStats after the barrier, per the
+	// per-shard-accumulate / merge-in-Stats rule).
+	plc []PlacementCount
+}
+
+// PlacementCount tallies one layer's shard executions by kernel placement.
+type PlacementCount struct {
+	AggrFirst, CombFirst int
 }
 
 // GroupStats reports one data-parallel training step.
@@ -406,6 +415,10 @@ type GroupStats struct {
 	DeadDevices int
 	Retries     int
 	StallTime   time.Duration
+	// Placements[li] counts layer li's shard executions this step by the
+	// placement the policy chose. The backing array is group-owned and
+	// overwritten by the next TrainBatch.
+	Placements []PlacementCount
 }
 
 // DeviceGroup is the data-parallel training engine: a persistent set of
@@ -450,6 +463,9 @@ type DeviceGroup struct {
 	stall0     []time.Duration
 	shardOrder shardSorter
 	devLoads   []int
+	// plStats is the preallocated per-layer placement tally GroupStats
+	// exposes (overwritten each step; no per-batch allocation).
+	plStats []PlacementCount
 
 	// Fault state: fplan is the deterministic injection schedule (nil in
 	// production — one predicted branch per batch), step the 0-based
@@ -482,18 +498,19 @@ func (x *shardSorter) Swap(i, j int) { x.s[i], x.s[j] = x.s[j], x.s[i] }
 
 // NewGroup builds a data-parallel group of `devices` simulated devices
 // (cfg each), with the batch partition fixed at `shards` gradient shards
-// (0 = DefaultShards; devices must not exceed shards). newModel builds one
-// weight replica; it must be deterministic — every replica must start
-// bitwise identical, which NewGroup verifies. Dynamic kernel placement is
-// pinned to aggregation-first on every replica: DKP decides from measured
-// wall time, which would let replicas diverge.
+// (0 derives the count from the device class via dkp.Recommend; devices
+// must not exceed shards). newModel builds one weight replica; it must be
+// deterministic — every replica must start bitwise identical, which
+// NewGroup verifies. Dynamic kernel placement stays live on every replica:
+// placements are pure functions of the fitted profile and each shard's
+// shape, so replicas evaluating the same shard agree by construction.
 func NewGroup(devices, shards int, cfg gpusim.Config, pinned bool,
 	newModel func() (*core.Model, error)) (*DeviceGroup, error) {
 	if devices < 1 {
 		devices = 1
 	}
 	if shards <= 0 {
-		shards = DefaultShards
+		shards = dkp.ProfileFor(cfg).Recommend().GradShards
 	}
 	if devices > shards {
 		return nil, fmt.Errorf("multigpu: %d devices exceed %d gradient shards", devices, shards)
@@ -519,7 +536,7 @@ func NewGroup(devices, shards int, cfg gpusim.Config, pinned bool,
 		for li := range gd.graphs {
 			gd.gptrs[li] = &gd.graphs[li]
 		}
-		pinAggrFirst(m)
+		gd.plc = make([]PlacementCount, len(m.Layers))
 		g.devs = append(g.devs, gd)
 	}
 	ref := g.devs[0].Model
@@ -546,12 +563,8 @@ func NewGroup(devices, shards int, cfg gpusim.Config, pinned bool,
 			g.grads[s][li] = shardGrad{dw: tensor.New(l.DW.Rows, l.DW.Cols), db: make([]float32, len(l.DB))}
 		}
 	}
+	g.plStats = make([]PlacementCount, len(ref.Layers))
 	return g, nil
-}
-
-func pinAggrFirst(m *core.Model) {
-	p := dkp.AggrFirst
-	m.SetForcePlacement(&p)
 }
 
 // SameWeights reports whether two models carry bitwise-identical
@@ -719,6 +732,9 @@ func (g *DeviceGroup) zeroShard(s int) {
 // released so MemInUse returns to zero.
 func (g *DeviceGroup) runDevice(d *GroupDev) {
 	before := d.Dev.Snapshot()
+	for li := range d.plc {
+		d.plc[li] = PlacementCount{}
+	}
 	for _, s := range d.shards {
 		sub := &g.plan.Subs[s]
 		if len(sub.Dsts) == 0 {
@@ -762,6 +778,13 @@ func (g *DeviceGroup) runShard(d *GroupDev, s int, sub *SubBatch) error {
 	fr, err := d.Model.Forward(d.Ctx, &d.input)
 	if err != nil {
 		return err
+	}
+	for li := range d.plc {
+		if fr.Placement(li) == dkp.CombFirst {
+			d.plc[li].CombFirst++
+		} else {
+			d.plc[li].AggrFirst++
+		}
 	}
 	lossSum, dLogits := core.SoftmaxCrossEntropySum(fr.Logits.M, sub.Labels, g.norm)
 	g.lossParts[s] = lossSum
@@ -900,9 +923,16 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 	// is the slowest device's modeled host→device time; the all-reduce
 	// rides the interconnect.
 	st := GroupStats{Devices: len(g.devs), Shards: g.shards, Imbalance: plan.Imbalance,
-		DeadDevices: g.deadDevs, Retries: retries}
+		DeadDevices: g.deadDevs, Retries: retries, Placements: g.plStats}
 	tm := gpusim.DefaultKernelTimeModel()
+	for li := range g.plStats {
+		g.plStats[li] = PlacementCount{}
+	}
 	for i, d := range g.devs {
+		for li := range d.plc {
+			g.plStats[li].AggrFirst += d.plc[li].AggrFirst
+			g.plStats[li].CombFirst += d.plc[li].CombFirst
+		}
 		st.Counters = st.Counters.Add(d.cnt)
 		if d.cnt.FLOPs > st.PeakDeviceFLOPs {
 			st.PeakDeviceFLOPs = d.cnt.FLOPs

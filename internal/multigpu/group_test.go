@@ -6,6 +6,7 @@ import (
 
 	"graphtensor/internal/core"
 	"graphtensor/internal/datasets"
+	"graphtensor/internal/dkp"
 	"graphtensor/internal/gpusim"
 	"graphtensor/internal/kernels"
 	"graphtensor/internal/models"
@@ -145,6 +146,126 @@ func TestGroupTrajectoryBitwiseAcrossWorkers(t *testing.T) {
 	for i := range serialW {
 		if serialW[i] != parW[i] {
 			t.Fatalf("weight[%d] differs across GOMAXPROCS", i)
+		}
+	}
+}
+
+// newPolicyHarness builds a harness with the placement policy live: a
+// heavy-feature dataset (gowalla at test scale keeps ~68-wide embeddings)
+// and a narrow hidden width, so the fitted profile flips at least one
+// layer of at least one shard shape to combination-first.
+func newPolicyHarness(t *testing.T) *groupHarness {
+	t.Helper()
+	ds, err := datasets.Generate("gowalla", datasets.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &groupHarness{
+		ds:      ds,
+		staging: gpusim.NewDevice(gpusim.DefaultConfig()),
+		model:   "gcn",
+		format:  prep.FormatCSRCSC,
+		params: models.Params{
+			InDim:     ds.FeatureDim,
+			Hidden:    4,
+			OutDim:    4,
+			Layers:    2,
+			Seed:      1,
+			Strategy:  kernels.NAPA{},
+			EnableDKP: true,
+			Policy:    dkp.NewPolicy(dkp.ProfileFor(gpusim.DefaultConfig())),
+		},
+	}
+}
+
+// trainRunPlacements is trainRun plus the last batch's per-layer placement
+// counts (copied out of the group-owned backing array).
+func (h *groupHarness) trainRunPlacements(t *testing.T, nDev, batches, size int) ([]float64, []float32, []PlacementCount) {
+	t.Helper()
+	g, err := NewGroup(nDev, DefaultShards, gpusim.DefaultConfig(), true, h.factory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var losses []float64
+	for i := 0; i < batches; i++ {
+		b := h.batch(t, i, size)
+		loss, err := g.TrainBatch(b, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, loss)
+		b.Release()
+	}
+	ref := g.Replica(0)
+	for i := 1; i < nDev; i++ {
+		if !SameWeights(ref, g.Replica(i)) {
+			t.Fatalf("nDev=%d: replica %d diverged from replica 0", nDev, i)
+		}
+	}
+	var w []float32
+	for _, l := range ref.Layers {
+		w = append(w, l.W.Data...)
+		w = append(w, l.B...)
+	}
+	pl := append([]PlacementCount(nil), g.LastStats().Placements...)
+	return losses, w, pl
+}
+
+// TestGroupPolicyPlacementTrajectory unpins the data-parallel engine: with
+// the fitted placement policy live (Dynamic-GT in a group), the loss and
+// weight trajectory must stay bitwise identical at 1/2/4/8 devices and
+// across GOMAXPROCS — the gradient-shard partition is a pure function of
+// the batch shape, so every shard shape (and hence every policy decision)
+// is device-count-independent. The per-layer placement counts must agree
+// across device counts too, and the run must actually exercise both
+// placements: a policy that never chooses combination-first here would be
+// a silently dead policy.
+func TestGroupPolicyPlacementTrajectory(t *testing.T) {
+	h := newPolicyHarness(t)
+	refLoss, refW, refPl := h.trainRunPlacements(t, 1, 3, 60)
+	var nAggr, nComb int
+	for _, pc := range refPl {
+		nAggr += pc.AggrFirst
+		nComb += pc.CombFirst
+	}
+	if nComb == 0 {
+		t.Fatalf("policy never chose combination-first over the shard shapes: %+v", refPl)
+	}
+	if nAggr == 0 {
+		t.Fatalf("policy never chose aggregation-first over the shard shapes: %+v", refPl)
+	}
+	for _, nDev := range []int{2, 4, 8} {
+		losses, w, pl := h.trainRunPlacements(t, nDev, 3, 60)
+		for i := range refLoss {
+			if losses[i] != refLoss[i] {
+				t.Errorf("nDev=%d batch %d: loss %v != 1-device %v", nDev, i, losses[i], refLoss[i])
+			}
+		}
+		for i := range refW {
+			if w[i] != refW[i] {
+				t.Fatalf("nDev=%d: weight[%d] %v != 1-device %v (policy broke device-count invariance)", nDev, i, w[i], refW[i])
+			}
+		}
+		for li := range refPl {
+			if pl[li] != refPl[li] {
+				t.Errorf("nDev=%d layer %d: placement counts %+v != 1-device %+v", nDev, li, pl[li], refPl[li])
+			}
+		}
+	}
+	// GOMAXPROCS must not perturb a policy-live trajectory either.
+	prev := runtime.GOMAXPROCS(1)
+	oneLoss, oneW, _ := h.trainRunPlacements(t, 4, 3, 60)
+	runtime.GOMAXPROCS(8)
+	parLoss, parW, _ := h.trainRunPlacements(t, 4, 3, 60)
+	runtime.GOMAXPROCS(prev)
+	for i := range oneLoss {
+		if oneLoss[i] != parLoss[i] {
+			t.Errorf("batch %d: policy-live loss %v (1 worker) != %v (8 workers)", i, oneLoss[i], parLoss[i])
+		}
+	}
+	for i := range oneW {
+		if oneW[i] != parW[i] {
+			t.Fatalf("policy-live weight[%d] differs across GOMAXPROCS", i)
 		}
 	}
 }

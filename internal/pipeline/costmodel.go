@@ -53,8 +53,14 @@ func (m PrepCostModel) Model(res *sampling.Result, featureDim int, pinned bool) 
 	for _, h := range res.Hops {
 		edges += len(h.SrcOrig)
 	}
-	verts := res.NumVertices()
-	embedBytes := float64(verts) * float64(featureDim) * 4
+	return m.EstimateTasks(edges, res.NumVertices(), featureDim, pinned)
+}
+
+// EstimateTasks is the closed form of Model over raw sampled-edge and
+// vertex counts, for callers sizing batches before any sampling exists
+// (dkp.Recommend derives the serving coalescing window from it).
+func (m PrepCostModel) EstimateTasks(edges, vertices, featureDim int, pinned bool) TaskTimes {
+	embedBytes := float64(vertices) * float64(featureDim) * 4
 	tf := m.TransferPerByte
 	if pinned {
 		tf *= m.PinnedFactor

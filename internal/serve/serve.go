@@ -37,7 +37,9 @@
 //
 // Coalescing is pure perf: neighbor choice is a deterministic function of
 // (seed, dst), every kernel accumulates per dst row in an order fixed by
-// that dst's own edge list, and replicas pin aggregation-first placement —
+// that dst's own edge list, and every replica's kernel placements are fixed
+// per layer at snapshot time — a pure function of the trainer's fitted cost
+// profile and expected serving shape, never of serve.Config or batch size —
 // so a query's logits are bitwise identical whether it is served alone or
 // coalesced with any other queries, at any GOMAXPROCS, shard count and
 // replica count (guarded by TestCoalescedLogitsBitwise).
@@ -51,6 +53,7 @@ import (
 	"time"
 
 	"graphtensor/internal/cache"
+	"graphtensor/internal/dkp"
 	"graphtensor/internal/fault"
 	"graphtensor/internal/frameworks"
 	"graphtensor/internal/graph"
@@ -60,12 +63,16 @@ import (
 
 // Config parameterizes the serving engine.
 type Config struct {
-	// MaxBatch caps the coalesced micro-batch size in distinct dst vertices
-	// (default 512): an admission shard cuts a batch as soon as it fills.
+	// MaxBatch caps the coalesced micro-batch size in distinct dst vertices:
+	// an admission shard cuts a batch as soon as it fills. Zero derives the
+	// cap from the trainer's device class via dkp.Recommend (512 for the
+	// default class); an explicit value overrides.
 	MaxBatch int
-	// MaxDelay is the admission deadline (default 2ms): a non-empty batch
-	// is cut at most this long after its first query arrived, bounding the
-	// latency cost of coalescing under light load.
+	// MaxDelay is the admission deadline: a non-empty batch is cut at most
+	// this long after its first query arrived, bounding the latency cost of
+	// coalescing under light load. Zero derives the deadline from the
+	// fitted cost model via dkp.Recommend (2ms for the default class); an
+	// explicit value overrides.
 	MaxDelay time.Duration
 	// Replicas is the number of serving replicas (default 1), each a
 	// simulated device with its own kernel context and weight snapshot.
@@ -91,9 +98,11 @@ type Config struct {
 	FaultPlan *fault.Plan
 }
 
-// DefaultConfig returns the serving defaults (≤512 dsts or 2ms).
+// DefaultConfig returns the serving defaults. MaxBatch and MaxDelay are
+// left zero so NewServer derives them from the trainer's fitted cost
+// profile via dkp.Recommend (512 dsts / 2ms for the default device class).
 func DefaultConfig() Config {
-	return Config{MaxBatch: 512, MaxDelay: 2 * time.Millisecond, Replicas: 1, QueueCap: 4096}
+	return Config{Replicas: 1, QueueCap: 4096}
 }
 
 // ErrClosed is returned for queries submitted to (or pending in) a closed
@@ -217,6 +226,13 @@ type shard struct {
 	stolen  atomic.Int64
 	expired atomic.Int64
 	lat     *metrics.LatencyRing
+
+	// plAggr/plComb count, per model layer, how many of this shard's
+	// successfully served batches ran that layer aggregation-first vs
+	// combination-first (the snapshot-fixed placements, observed rather
+	// than re-derived). Per-shard atomics, merged only in Stats.
+	plAggr []atomic.Int64
+	plComb []atomic.Int64
 }
 
 // Server coalesces inference requests over sharded admission queues and
@@ -225,6 +241,10 @@ type Server struct {
 	tr     *frameworks.Trainer
 	cfg    Config
 	outDim int
+	// placements is the per-layer kernel placement every replica's snapshot
+	// model pinned at construction (replicas agree by construction — the
+	// placements are a pure function of the trainer's profile and shape).
+	placements []dkp.Placement
 
 	// sched is the replicas' shared host-only preprocessing engine: its
 	// persistent sampler and subtask workers serve concurrent PrepareSlot
@@ -285,11 +305,17 @@ type Server struct {
 // read (weight snapshots, sampler/format configuration); it can keep
 // training between servers, but not concurrently with one.
 func NewServer(tr *frameworks.Trainer, cfg Config) (*Server, error) {
-	if cfg.MaxBatch <= 0 {
-		cfg.MaxBatch = 512
-	}
-	if cfg.MaxDelay <= 0 {
-		cfg.MaxDelay = 2 * time.Millisecond
+	if cfg.MaxBatch <= 0 || cfg.MaxDelay <= 0 {
+		// Unset coalescing knobs derive from the device class's fitted cost
+		// model: the batch size that amortizes per-batch fixed costs to a
+		// few percent, and a deadline ~2× one batch's modeled service time.
+		rec := dkp.ProfileFor(tr.Opt.Device).Recommend()
+		if cfg.MaxBatch <= 0 {
+			cfg.MaxBatch = rec.MaxBatch
+		}
+		if cfg.MaxDelay <= 0 {
+			cfg.MaxDelay = rec.MaxDelay
+		}
 	}
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 1
@@ -327,6 +353,11 @@ func NewServer(tr *frameworks.Trainer, cfg Config) (*Server, error) {
 		}
 		s.replicas = append(s.replicas, r)
 	}
+	if pl := s.replicas[0].model.LayerPlacements(); pl != nil {
+		s.placements = pl
+	} else {
+		s.placements = make([]dkp.Placement, len(s.replicas[0].model.Layers))
+	}
 
 	queueCap := cfg.QueueCap / cfg.Shards
 	if queueCap < 1 {
@@ -342,6 +373,8 @@ func NewServer(tr *frameworks.Trainer, cfg Config) (*Server, error) {
 			in:      make(chan *Ticket, queueCap),
 			batches: make(chan *microBatch, 2),
 			lat:     metrics.NewLatencyRing(ringCap),
+			plAggr:  make([]atomic.Int64, len(s.placements)),
+			plComb:  make([]atomic.Int64, len(s.placements)),
 		})
 	}
 	for _, r := range s.replicas {
@@ -709,6 +742,17 @@ func (s *Server) complete(mb *microBatch, now time.Time, err error) {
 	sh.queries.Add(int64(len(mb.tickets)))
 	sh.served.Add(1)
 	sh.dsts.Add(int64(len(mb.dsts)))
+	if err == nil {
+		// Placement observability: a successfully served batch ran every
+		// layer under the snapshot-fixed placement vector.
+		for li, p := range s.placements {
+			if p == dkp.CombFirst {
+				sh.plComb[li].Add(1)
+			} else {
+				sh.plAggr[li].Add(1)
+			}
+		}
+	}
 	n := now.UnixNano()
 	for {
 		old := s.lastDone.Load()
@@ -825,15 +869,30 @@ type Stats struct {
 	DeadReplicas int
 	// PerShard breaks the completed work down by admission shard.
 	PerShard []ShardStats
+	// Placements reports, per model layer, how many successfully served
+	// batches ran aggregation-first vs combination-first — the placements
+	// the trainer's fitted cost profile pinned at snapshot time, merged
+	// from the per-shard counters.
+	Placements []PlacementCount
+}
+
+// PlacementCount tallies served batches by kernel placement for one layer.
+type PlacementCount struct {
+	AggrFirst, CombFirst int
 }
 
 // Stats snapshots the server's cumulative report by merging the per-shard
 // counters and latency rings (the only place they are ever combined).
 func (s *Server) Stats() Stats {
-	st := Stats{Replicas: len(s.replicas), Shards: len(s.shards)}
+	st := Stats{Replicas: len(s.replicas), Shards: len(s.shards),
+		Placements: make([]PlacementCount, len(s.placements))}
 	var lat []time.Duration
 	var dsts int64
 	for _, sh := range s.shards {
+		for li := range st.Placements {
+			st.Placements[li].AggrFirst += int(sh.plAggr[li].Load())
+			st.Placements[li].CombFirst += int(sh.plComb[li].Load())
+		}
 		q, b, d := sh.queries.Load(), sh.served.Load(), sh.dsts.Load()
 		ss := ShardStats{Queries: int(q), Batches: int(b), Stolen: int(sh.stolen.Load()),
 			Expired: int(sh.expired.Load())}

@@ -10,6 +10,7 @@ import (
 
 	"graphtensor/internal/cache"
 	"graphtensor/internal/datasets"
+	"graphtensor/internal/dkp"
 	"graphtensor/internal/fault"
 	"graphtensor/internal/frameworks"
 	"graphtensor/internal/graph"
@@ -93,8 +94,9 @@ func TestCoalescedLogitsBitwise(t *testing.T) {
 		queries[q] = ds.BatchDsts(qSize, uint64(900+q))
 		total += len(queries[q])
 	}
-	// Strategy representatives: Graph-approach, DL-approach, Advisor, NAPA.
-	for _, kind := range []frameworks.Kind{frameworks.DGL, frameworks.PyG, frameworks.GNNAdvisor, frameworks.BaseGT} {
+	// Strategy representatives: Graph-approach, DL-approach, Advisor, NAPA,
+	// and NAPA with the placement policy live (Dynamic-GT).
+	for _, kind := range []frameworks.Kind{frameworks.DGL, frameworks.PyG, frameworks.GNNAdvisor, frameworks.BaseGT, frameworks.DynamicGT} {
 		t.Run(kind.String(), func(t *testing.T) {
 			tr := testTrainer(t, kind, ds)
 
@@ -152,6 +154,150 @@ func TestCoalescedLogitsBitwise(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestPolicyPlacementBitwise: serving placements are decided once at
+// snapshot time from the trainer's fitted cost profile — a pure function
+// of trainer state, never of serve.Config, batch composition or timing —
+// so every snapshot, server and replica agrees on the same per-layer
+// vector. The fitted profile must also actually exercise both placements
+// at serving shapes: a heavy-feature workload (gowalla) flips at least one
+// layer to combination-first while a light-feature one (products) keeps
+// aggregation-first, and the mixed-placement logits stay bitwise identical
+// across coalescing, replicas and shard counts.
+func TestPolicyPlacementBitwise(t *testing.T) {
+	heavy, err := datasets.Generate("gowalla", datasets.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrainer(t, frameworks.DynamicGT, heavy)
+
+	want := tr.ServingPlacements()
+	if again := tr.ServingPlacements(); !placementsEqual(want, again) {
+		t.Fatalf("two ServingPlacements calls disagree: %v vs %v", want, again)
+	}
+	var nComb int
+	for _, p := range want {
+		if p == dkp.CombFirst {
+			nComb++
+		}
+	}
+	if nComb == 0 {
+		t.Fatalf("heavy-feature serving shapes never chose combination-first: %v", want)
+	}
+	if nComb == len(want) {
+		t.Fatalf("expected a mixed placement vector, got all combination-first: %v", want)
+	}
+
+	// Every server built from the trainer pins the same vector, regardless
+	// of its serving configuration.
+	for _, cfg := range []Config{DefaultConfig(), {MaxBatch: 7, MaxDelay: time.Millisecond, Replicas: 3, Shards: 2}} {
+		s, err := NewServer(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !placementsEqual(s.placements, want) {
+			s.Close()
+			t.Fatalf("server pinned %v, trainer decided %v", s.placements, want)
+		}
+		for _, r := range s.replicas {
+			if !placementsEqual(r.model.LayerPlacements(), want) {
+				s.Close()
+				t.Fatalf("replica %d pinned %v, want %v", r.id, r.model.LayerPlacements(), want)
+			}
+		}
+		s.Close()
+	}
+
+	// Mixed placements stay bitwise: serial vs coalesced vs replicated.
+	queries := make([][]graph.VID, 4)
+	for q := range queries {
+		queries[q] = heavy.BatchDsts(15, uint64(300+q))
+	}
+	serialCfg := DefaultConfig()
+	serialCfg.MaxBatch = 1
+	serial := queryLogits(t, tr, serialCfg, queries, false)
+	for _, cfg := range []Config{
+		{MaxBatch: 256, MaxDelay: 200 * time.Millisecond},
+		{MaxBatch: 16, MaxDelay: 200 * time.Millisecond, Replicas: 3, Shards: 2},
+	} {
+		got := queryLogits(t, tr, cfg, queries, false)
+		for q := range queries {
+			for i, w := range serial[q] {
+				if got[q][i] != w {
+					t.Fatalf("query %d logit %d = %g, serial %g — placement policy broke coalescing bitwiseness",
+						q, i, got[q][i], w)
+				}
+			}
+		}
+	}
+
+	// Light features keep the conventional order everywhere.
+	light := testDS(t)
+	ltr := testTrainer(t, frameworks.DynamicGT, light)
+	for li, p := range ltr.ServingPlacements() {
+		if p != dkp.AggrFirst {
+			t.Errorf("light-feature layer %d chose %s, want aggregation-first", li, p)
+		}
+	}
+}
+
+func placementsEqual(a, b []dkp.Placement) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestServeStatsPlacements: the per-shard placement counters merge into
+// Stats as (batches served) x (the snapshot-fixed placement vector).
+func TestServeStatsPlacements(t *testing.T) {
+	heavy, err := datasets.Generate("gowalla", datasets.TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := testTrainer(t, frameworks.DynamicGT, heavy)
+	s, err := NewServer(tr, Config{MaxBatch: 10, MaxDelay: 50 * time.Millisecond, Replicas: 2, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]graph.VID, 6)
+	outs := make([][]float32, len(queries))
+	tks := make([]*Ticket, len(queries))
+	for q := range queries {
+		queries[q] = heavy.BatchDsts(10, uint64(500+q))
+		outs[q] = make([]float32, len(queries[q])*s.OutDim())
+	}
+	if err := s.SubmitMany(queries, outs, tks); err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range tks {
+		if err := tk.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	st := s.Stats()
+	if len(st.Placements) != len(s.placements) {
+		t.Fatalf("Stats reported %d placement rows, model has %d layers", len(st.Placements), len(s.placements))
+	}
+	for li, pc := range st.Placements {
+		wantAggr, wantComb := 0, 0
+		if s.placements[li] == dkp.CombFirst {
+			wantComb = st.Batches
+		} else {
+			wantAggr = st.Batches
+		}
+		if pc.AggrFirst != wantAggr || pc.CombFirst != wantComb {
+			t.Errorf("layer %d placement counts {aggr:%d comb:%d}, want {aggr:%d comb:%d} over %d batches",
+				li, pc.AggrFirst, pc.CombFirst, wantAggr, wantComb, st.Batches)
+		}
 	}
 }
 
