@@ -22,6 +22,7 @@ import (
 	"graphtensor/internal/gpusim"
 	"graphtensor/internal/graph"
 	"graphtensor/internal/kernels"
+	"graphtensor/internal/multigpu"
 	"graphtensor/internal/pipeline"
 	"graphtensor/internal/sampling"
 	"graphtensor/internal/serve"
@@ -184,20 +185,39 @@ func BenchmarkTrainBatchPreproGT(b *testing.B) {
 }
 
 // BenchmarkMultiGPUTrainBatch measures one data-parallel training step of
-// the DeviceGroup engine at 1/2/4 simulated devices: batch partitioning
-// into edge-balanced gradient shards, per-device forward+backward on the
-// worker pool, PCIe-modeled all-reduce, deterministic optimizer step. The
-// per-device arenas recycle all device allocations, so allocs/op tracks the
-// host-side steady state.
+// the DeviceGroup engine at 1–8 flat simulated devices plus a 16-device
+// hierarchical group (4 nodes of 4): batch partitioning into edge-balanced
+// gradient shards (node-aware on the hierarchical fabric), per-device
+// forward+backward on the worker pool, modeled all-reduce on the configured
+// fabric, deterministic optimizer step. The per-device arenas recycle all
+// device allocations, so allocs/op tracks the host-side steady state.
 func BenchmarkMultiGPUTrainBatch(b *testing.B) {
 	ds, err := datasets.Generate("products", datasets.DefaultScale())
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, nd := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("devs=%d", nd), func(b *testing.B) {
+	cases := []struct {
+		name          string
+		devs, perNode int
+	}{
+		{"devs=1", 1, 0},
+		{"devs=2", 2, 0},
+		{"devs=4", 4, 0},
+		{"devs=8", 8, 0},
+		// The multi-node step: 16 devices as 4 nodes of 4 over the
+		// hierarchical fabric (node-aware shard assignment, two-tier
+		// all-reduce, cross-node scatter) — its allocs/op ratchets the
+		// node-assignment scratch reuse.
+		{"devs=16/nodes=4", 16, 4},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
 			opt := frameworks.DefaultOptions()
-			opt.NumDevices = nd
+			opt.NumDevices = tc.devs
+			opt.DevicesPerNode = tc.perNode
+			if tc.devs > multigpu.DefaultShards {
+				opt.GradShards = tc.devs
+			}
 			tr, err := frameworks.New(frameworks.BaseGT, ds, opt)
 			if err != nil {
 				b.Fatal(err)

@@ -17,6 +17,7 @@ import (
 	"graphtensor/internal/datasets"
 	"graphtensor/internal/dkp"
 	"graphtensor/internal/frameworks"
+	"graphtensor/internal/multigpu"
 )
 
 var kindNames = map[string]frameworks.Kind{
@@ -41,6 +42,8 @@ func main() {
 		layers  = flag.Int("layers", 2, "GNN depth")
 		lr      = flag.Float64("lr", 0.05, "SGD learning rate")
 		devices = flag.Int("devices", 0, "data-parallel device count (0 = classic single-device engine)")
+		perNode = flag.Int("devices-per-node", 0, "devices per node on the hierarchical fabric (0 = flat single-node fabric)")
+		shards  = flag.Int("grad-shards", 0, "fixed gradient-shard count (0 = profile default, raised to -devices when below it)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,13 @@ func main() {
 	opt.Layers = *layers
 	opt.LearningRate = float32(*lr)
 	opt.NumDevices = *devices
+	opt.DevicesPerNode = *perNode
+	opt.GradShards = *shards
+	if opt.GradShards == 0 && *devices > multigpu.DefaultShards {
+		// Every device needs at least one shard; keep the default's
+		// bitwise trajectory when it already covers the device count.
+		opt.GradShards = *devices
+	}
 	tr, err := frameworks.New(kind, ds, opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gttrain: %v\n", err)
@@ -91,6 +101,12 @@ func main() {
 			st.MaxDeviceCompute.Round(time.Microsecond), st.CommTime.Round(time.Microsecond),
 			st.StepTime.Round(time.Microsecond), st.StepTimeSerial.Round(time.Microsecond),
 			st.OverlapEfficiency*100)
+		if st.Nodes > 1 {
+			fmt.Printf("hierarchical fabric: %d nodes (%d devices/node), node imbalance %.2fx, intra-node comm %v, inter-node comm %v, cross-node payload %.2f MB\n",
+				st.Nodes, *perNode, st.NodeImbalance,
+				st.IntraNodeTime.Round(time.Microsecond), st.InterNodeTime.Round(time.Microsecond),
+				float64(st.CrossNodeBytes)/(1<<20))
+		}
 		return
 	}
 	fmt.Printf("kernel phase breakdown:\n%s", tr.Engine.Phases())

@@ -120,6 +120,14 @@ type Options struct {
 	// Trajectories are comparable across device counts only for an
 	// identical shard count.
 	GradShards int
+	// DevicesPerNode splits the device group into nodes of this size over
+	// a hierarchical fabric (gpusim.HierarchicalInterconnect): NVLink-class
+	// links inside a node, the modeled network between nodes, hierarchical
+	// all-reduce and node-aware shard assignment. 0 (default) keeps the
+	// flat single-node fabric from Options.Device. Node assignment steers
+	// modeled scheduling and communication only — the trajectory stays
+	// bitwise identical to the flat fabrics at the same GradShards.
+	DevicesPerNode int
 	// FaultPlan injects a deterministic fault schedule into the
 	// data-parallel device group (nil = fault-free; ignored without
 	// NumDevices). Faults are a pure function of (seed, step, device), so
@@ -247,8 +255,16 @@ func New(kind Kind, ds *datasets.Dataset, opt Options) (*Trainer, error) {
 		// Data-parallel engine: one weight replica per device. DKP stays
 		// live — placements are pure functions of the fitted profile and
 		// the shard shape, identical on every replica by construction.
+		devCfg := opt.Device
+		if opt.DevicesPerNode > 0 {
+			// Hierarchical fabric: the node size turns the group's flat
+			// interconnect into the two-tier NVLink-intra / network-inter
+			// model, and the group becomes node-aware end to end (plan
+			// node assignment, tiered collectives, split-drain overlap).
+			devCfg.Interconnect = gpusim.HierarchicalInterconnect(opt.DevicesPerNode)
+		}
 		var err error
-		t.group, err = multigpu.NewGroup(opt.NumDevices, opt.GradShards, opt.Device, t.pinned,
+		t.group, err = multigpu.NewGroup(opt.NumDevices, opt.GradShards, devCfg, t.pinned,
 			func() (*core.Model, error) { return models.ByName(opt.Model, mp) })
 		if err != nil {
 			return nil, err
@@ -420,7 +436,7 @@ func (t *Trainer) PrepareTrainInto(dsts []graph.VID, slot *pipeline.Slot) (*prep
 	b, err := t.PrepareInto(dsts, nil, slot)
 	if err == nil && t.group != nil && b.Labels != nil {
 		old, _ := slot.StructPool().TakePlan().(*multigpu.BatchPlan)
-		b.SubBatches, err = multigpu.PartitionBatchReuse(b, t.group.NumShards(), old)
+		b.SubBatches, err = multigpu.PartitionBatchNodesReuse(b, t.group.NumShards(), t.group.NumNodes(), old)
 		if err != nil {
 			b.Release()
 			return nil, err

@@ -72,6 +72,61 @@ func TestFourDeviceTrajectoryMatchesSingle(t *testing.T) {
 	}
 }
 
+// TestHierarchicalTrajectoryMatchesSingle extends the acceptance guard to
+// the multi-node fabric through the full production path: a 4-device group
+// split 2 devices per node (hierarchical all-reduce, node-aware shard
+// assignment, cross-node scatter) must reproduce the 1-device flat loss and
+// weight trajectory bitwise — node assignment steers modeled scheduling and
+// communication only, never the partition or the fold order.
+func TestHierarchicalTrajectoryMatchesSingle(t *testing.T) {
+	ds := testDS(t)
+	run := func(numDevices, devsPerNode int) ([]float64, []float32, *Trainer) {
+		opt := quickOpts()
+		opt.NumDevices = numDevices
+		opt.DevicesPerNode = devsPerNode
+		tr, err := New(PreproGT, ds, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var losses []float64
+		for e := 0; e < 2; e++ {
+			_, loss, err := tr.TrainEpoch(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses = append(losses, loss)
+		}
+		return losses, collectWeights(tr), tr
+	}
+	oneLoss, oneW, _ := run(1, 0)
+	hierLoss, hierW, hierTr := run(4, 2)
+	if n := hierTr.Group().NumNodes(); n != 2 {
+		t.Fatalf("hierarchical group reports %d nodes, want 2", n)
+	}
+	for e := range oneLoss {
+		if oneLoss[e] != hierLoss[e] {
+			t.Errorf("epoch %d: hierarchical loss %v != 1-device flat %v", e, hierLoss[e], oneLoss[e])
+		}
+	}
+	if len(oneW) != len(hierW) {
+		t.Fatalf("weight count mismatch")
+	}
+	for i := range oneW {
+		if oneW[i] != hierW[i] {
+			t.Fatalf("weight[%d] %v (hierarchical) != %v (1 device flat)", i, hierW[i], oneW[i])
+		}
+	}
+	st := hierTr.Group().LastStats()
+	if st.Nodes != 2 || st.CrossNodeBytes <= 0 || st.InterNodeTime <= 0 {
+		t.Errorf("hierarchical step stats missing the network tier: %+v", st)
+	}
+	for gi, d := range hierTr.Group().Devices() {
+		if m := d.Dev.MemInUse(); m != 0 {
+			t.Errorf("device %d holds %d bytes after training, want 0", gi, m)
+		}
+	}
+}
+
 // TestMultiDeviceRingStopReleasesEverything: abandoning a multi-device run
 // mid-stream (Ring.Stop with batches prepared ahead) must leave zero live
 // device buffers — on the staging engine device (batch buffers) and on

@@ -1,6 +1,7 @@
 package gpusim
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -34,6 +35,37 @@ func (t Topology) String() string {
 	return "topology?"
 }
 
+// NetworkLink models the inter-node tier of a hierarchical fabric: an
+// Ethernet/InfiniBand-class network connecting the nodes of a multi-node
+// group. It has no pinned/pageable distinction (RDMA transports bypass the
+// host staging copy) and its per-hop latency is paid on every collective
+// step — node-to-node hops cannot pipeline through a switch the way
+// intra-node NVLink steps do.
+type NetworkLink struct {
+	// BytesPerSec is the per-direction node-to-node bandwidth.
+	BytesPerSec float64
+	// HopLatencyNs is the fixed setup cost of one inter-node hop
+	// (collective step or scatter transfer).
+	HopLatencyNs float64
+	// Contention is the fraction of cross-node scatter rate lost while an
+	// inter-node collective drains on the same network (the network-tier
+	// analogue of InterconnectConfig.OverlapContention).
+	Contention float64
+}
+
+// DefaultNetworkLink returns the inter-node network the hierarchical fabric
+// models by default: an HDR InfiniBand-class link (~200 Gb/s per direction),
+// microsecond-scale hop setup, and a quarter of the scatter rate lost under
+// a draining inter-node collective (the NIC is shared, but scatter and
+// collective steps interleave).
+func DefaultNetworkLink() NetworkLink {
+	return NetworkLink{
+		BytesPerSec:  25e9,
+		HopLatencyNs: 5000,
+		Contention:   0.25,
+	}
+}
+
 // InterconnectConfig describes the interconnect of a device group.
 type InterconnectConfig struct {
 	Topology Topology
@@ -49,6 +81,26 @@ type InterconnectConfig struct {
 	// (separate fabrics, NVLink), 1 means no overlap at all (fully shared
 	// link). The DeviceGroup uses it to model the overlapped schedule.
 	OverlapContention float64
+
+	// DevicesPerNode splits the group into nodes of this size, turning the
+	// flat fabric into a two-tier hierarchy: the link parameters above
+	// become the intra-node tier and Network becomes the inter-node tier.
+	// 0 (the default) keeps the whole group on one flat single-node
+	// fabric.
+	DevicesPerNode int
+	// Network is the inter-node tier of a hierarchical fabric (ignored
+	// while DevicesPerNode is 0). Zero-valued fields fall back to
+	// DefaultNetworkLink.
+	Network NetworkLink
+}
+
+// Name labels the configured fabric for reports: the topology name, with
+// the node size appended for hierarchical fabrics ("hier-4/node").
+func (c InterconnectConfig) Name() string {
+	if c.DevicesPerNode > 0 {
+		return fmt.Sprintf("hier-%d/node", c.DevicesPerNode)
+	}
+	return c.Topology.String()
 }
 
 // DefaultInterconnect returns the flat PCIe-ring interconnect: link
@@ -70,15 +122,35 @@ func NVLinkInterconnect() InterconnectConfig {
 	}
 }
 
+// HierarchicalInterconnect returns the two-tier fabric of a multi-node
+// group: NVLink-class links inside each node of devsPerNode devices, and
+// the default Ethernet/IB-class network between nodes. The hierarchical
+// all-reduce runs its reduce-scatter and broadcast on the fast intra-node
+// tier and only the per-node ring on the network, which is what lets the
+// modeled step keep scaling past a single box.
+func HierarchicalInterconnect(devsPerNode int) InterconnectConfig {
+	ic := NVLinkInterconnect()
+	ic.DevicesPerNode = devsPerNode
+	ic.Network = DefaultNetworkLink()
+	return ic
+}
+
 // Interconnect is the accounting engine of a device group's collective
 // fabric — the peer-to-peer analogue of the per-device PCIe engine. It
-// models ring all-reduce time under the configured topology and accrues
-// the modeled traffic.
+// models ring all-reduce time under the configured topology (hierarchically
+// when the config declares nodes) and accrues the modeled traffic per tier.
 type Interconnect struct {
-	cfg       InterconnectConfig
-	dev       Config
-	modeledNs atomic.Int64
-	bytes     atomic.Int64
+	cfg InterconnectConfig
+	dev Config
+
+	// Per-tier accumulators: intra counts device-to-device traffic inside a
+	// node (the whole collective on a flat single-node fabric), inter
+	// counts node-to-node network traffic (collective steps plus cross-node
+	// scatter). ModeledTime/BytesMoved report their sums.
+	intraNs    atomic.Int64
+	interNs    atomic.Int64
+	intraBytes atomic.Int64
+	interBytes atomic.Int64
 }
 
 // NewInterconnect builds the engine from a device config (whose
@@ -91,7 +163,8 @@ func NewInterconnect(dev Config) *Interconnect {
 // Config returns the interconnect configuration.
 func (ic *Interconnect) Config() InterconnectConfig { return ic.cfg }
 
-// linkParams resolves the effective per-step bandwidth and latency.
+// linkParams resolves the effective per-step bandwidth and latency of the
+// intra-node tier.
 func (ic *Interconnect) linkParams() (bw, latNs float64) {
 	bw = ic.cfg.LinkBytesPerSec
 	if bw <= 0 {
@@ -104,51 +177,163 @@ func (ic *Interconnect) linkParams() (bw, latNs float64) {
 	return bw, latNs
 }
 
-// AllReduce accounts a ring all-reduce of `bytes` gradient bytes across n
-// devices and returns the modeled per-device time. Every device moves
-// 2·(n−1) chunks of bytes/n (reduce-scatter + all-gather). On the PCIe
-// ring each step pays the full per-transfer latency (and the pageable
-// staging penalty when pinned is false) exactly as the per-device engine
-// would; on NVLink the steps pipeline through the switch, so only the two
-// phase latencies are exposed and peer DMA never pays the pageable factor.
-func (ic *Interconnect) AllReduce(bytes int64, n int, pinned bool) time.Duration {
-	if n <= 1 || bytes <= 0 {
-		return 0
+// Network resolves the effective inter-node tier parameters (zero-valued
+// config fields fall back to DefaultNetworkLink).
+func (ic *Interconnect) Network() NetworkLink {
+	net := ic.cfg.Network
+	def := DefaultNetworkLink()
+	if net.BytesPerSec <= 0 {
+		net.BytesPerSec = def.BytesPerSec
 	}
+	if net.HopLatencyNs <= 0 {
+		net.HopLatencyNs = def.HopLatencyNs
+	}
+	return net
+}
+
+// NumNodes returns how many nodes a collective over n devices spans under
+// the configured node size (1 on a flat fabric).
+func (ic *Interconnect) NumNodes(n int) int {
+	p := ic.cfg.DevicesPerNode
+	if p <= 0 || n <= 0 {
+		return 1
+	}
+	return (n + p - 1) / p
+}
+
+// ringNs is the closed-form flat ring all-reduce over m devices on the
+// intra-node tier: 2·(m−1) steps of bytes/m. On the PCIe ring each step
+// pays the full per-transfer latency (and the pageable staging penalty when
+// pinned is false) exactly as the per-device engine would; on NVLink the
+// steps pipeline through the switch, so only the two phase latencies are
+// exposed and peer DMA never pays the pageable factor.
+func (ic *Interconnect) ringNs(bytes int64, m int, pinned bool) float64 {
 	bw, latNs := ic.linkParams()
-	steps := 2 * (n - 1)
-	chunk := float64(bytes) / float64(n)
-	var ns float64
+	steps := 2 * (m - 1)
+	chunk := float64(bytes) / float64(m)
 	switch ic.cfg.Topology {
 	case TopologyNVLink:
-		ns = 2*latNs + float64(steps)*chunk/bw*1e9
+		return 2*latNs + float64(steps)*chunk/bw*1e9
 	default:
 		per := latNs + chunk/bw*1e9
 		if !pinned {
 			per *= ic.dev.PageableOverhead
 		}
-		ns = float64(steps) * per
+		return float64(steps) * per
 	}
-	d := time.Duration(ns)
-	ic.modeledNs.Add(int64(d))
-	ic.bytes.Add(int64(steps) * bytes) // total fabric traffic: n · 2(n−1) · bytes/n
+}
+
+// AllReduce accounts an all-reduce of `bytes` gradient bytes across n
+// devices and returns the modeled per-device time (the sum of both tiers on
+// a hierarchical fabric; see AllReduceTiers for the split).
+func (ic *Interconnect) AllReduce(bytes int64, n int, pinned bool) time.Duration {
+	intra, inter := ic.AllReduceTiers(bytes, n, pinned)
+	return intra + inter
+}
+
+// AllReduceTiers accounts the collective and returns its per-tier modeled
+// time. On a flat fabric the whole ring runs on the intra tier. On a
+// hierarchical fabric (DevicesPerNode > 0 spanning more than one node) the
+// collective is hierarchical:
+//
+//  1. intra-node reduce-scatter — m−1 steps of bytes/m on the fast tier,
+//  2. inter-node ring all-reduce over one representative per node —
+//     2·(nodes−1) steps of bytes/nodes on the network, each paying the
+//     per-hop latency (inter-node steps never pipeline and never pay the
+//     pageable factor: RDMA),
+//  3. intra-node broadcast of the folded result — m−1 steps of bytes/m.
+//
+// Phases 1+3 together cost exactly one flat ring over the node's m devices;
+// only the (much shorter) per-node ring touches the slow tier, which is why
+// the hierarchy keeps scaling past a single box. n <= 1 or bytes <= 0
+// return (0, 0) without touching the modeled-time/bytes accumulators on
+// either path.
+func (ic *Interconnect) AllReduceTiers(bytes int64, n int, pinned bool) (intra, inter time.Duration) {
+	if n <= 1 || bytes <= 0 {
+		return 0, 0
+	}
+	p := ic.cfg.DevicesPerNode
+	if p <= 0 || p >= n {
+		// Flat fabric (or a hierarchy degenerated to one node): the whole
+		// collective rides the intra tier.
+		d := time.Duration(ic.ringNs(bytes, n, pinned))
+		ic.intraNs.Add(int64(d))
+		ic.intraBytes.Add(int64(2*(n-1)) * bytes) // n devices × 2(n−1) chunks of bytes/n
+		return d, 0
+	}
+	nodes := (n + p - 1) / p
+	intra = time.Duration(ic.ringNs(bytes, p, pinned))
+	net := ic.Network()
+	chunk := float64(bytes) / float64(nodes)
+	inter = time.Duration(float64(2*(nodes-1)) * (net.HopLatencyNs + chunk/net.BytesPerSec*1e9))
+	ic.intraNs.Add(int64(intra))
+	ic.interNs.Add(int64(inter))
+	// Fabric traffic: a ring of p inside each of the nodes, a ring of
+	// `nodes` representatives on the network.
+	ic.intraBytes.Add(int64(nodes) * int64(2*(p-1)) * bytes)
+	ic.interBytes.Add(int64(2*(nodes-1)) * bytes)
+	return intra, inter
+}
+
+// InterScatter accounts a cross-node host→node transfer on the network
+// tier: `hops` per-transfer setups plus bytes at the link rate, serialized
+// on the producer node's uplink. bytes <= 0 and hops <= 0 return 0 without
+// touching the accumulators.
+func (ic *Interconnect) InterScatter(bytes int64, hops int) time.Duration {
+	if bytes <= 0 && hops <= 0 {
+		return 0
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	if hops < 0 {
+		hops = 0
+	}
+	net := ic.Network()
+	d := time.Duration(float64(hops)*net.HopLatencyNs + float64(bytes)/net.BytesPerSec*1e9)
+	ic.interNs.Add(int64(d))
+	ic.interBytes.Add(bytes)
 	return d
 }
 
-// OverlapContention returns the configured scatter-rate loss factor.
+// OverlapContention returns the configured intra-tier scatter-rate loss
+// factor.
 func (ic *Interconnect) OverlapContention() float64 {
-	c := ic.cfg.OverlapContention
+	return clamp01(ic.cfg.OverlapContention)
+}
+
+// NetworkContention returns the inter-node tier's scatter-rate loss factor.
+func (ic *Interconnect) NetworkContention() float64 {
+	return clamp01(ic.cfg.Network.Contention)
+}
+
+func clamp01(c float64) float64 {
 	if c < 0 {
-		c = 0
+		return 0
 	}
 	if c > 1 {
-		c = 1
+		return 1
 	}
 	return c
 }
 
-// ModeledTime returns the cumulative modeled collective time.
-func (ic *Interconnect) ModeledTime() time.Duration { return time.Duration(ic.modeledNs.Load()) }
+// ModeledTime returns the cumulative modeled collective time (both tiers).
+func (ic *Interconnect) ModeledTime() time.Duration {
+	return time.Duration(ic.intraNs.Load() + ic.interNs.Load())
+}
 
-// BytesMoved returns the cumulative fabric traffic.
-func (ic *Interconnect) BytesMoved() int64 { return ic.bytes.Load() }
+// BytesMoved returns the cumulative fabric traffic (both tiers).
+func (ic *Interconnect) BytesMoved() int64 { return ic.intraBytes.Load() + ic.interBytes.Load() }
+
+// IntraNodeTime returns the cumulative modeled time on the intra-node tier.
+func (ic *Interconnect) IntraNodeTime() time.Duration { return time.Duration(ic.intraNs.Load()) }
+
+// InterNodeTime returns the cumulative modeled time on the network tier.
+func (ic *Interconnect) InterNodeTime() time.Duration { return time.Duration(ic.interNs.Load()) }
+
+// IntraNodeBytes returns the cumulative intra-node fabric traffic.
+func (ic *Interconnect) IntraNodeBytes() int64 { return ic.intraBytes.Load() }
+
+// InterNodeBytes returns the cumulative network-tier traffic (collective
+// steps plus cross-node scatter).
+func (ic *Interconnect) InterNodeBytes() int64 { return ic.interBytes.Load() }

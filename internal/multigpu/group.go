@@ -69,6 +69,22 @@ type BatchPlan struct {
 	Subs      []SubBatch
 	Imbalance float64
 
+	// Node-aware layer (hierarchical fabrics): Nodes is the configured node
+	// count the shard→node assignment was built for (1 on a flat fabric),
+	// NodeOf[s] is shard s's node, NodeBytes[j] is node j's scatter payload
+	// with embedding rows shared by the node's shards deduplicated (the
+	// halo overlap a node-aware assignment concentrates inside the node),
+	// and NodeImbalance is the final-layer edge imbalance across nodes.
+	// Like the shard partition, this layer is a pure function of the batch
+	// shape and the (Shards, Nodes) config: it steers modeled scheduling
+	// and communication only, never which dst lands in which shard or the
+	// fold order — so the trajectory stays bitwise identical across
+	// fabrics and node counts.
+	Nodes         int
+	NodeOf        []int
+	NodeBytes     []int64
+	NodeImbalance float64
+
 	// Retained assignment scratch (LPT order, per-shard loads), the
 	// host-side CSR index of COO-format parents, and the per-layer
 	// partitioning-CSR view.
@@ -77,6 +93,15 @@ type BatchPlan struct {
 	loads  []int
 	csrIdx []*graph.BCSR
 	csrs   []*graph.BCSR
+
+	// Retained node-assignment scratch: LPT order over shards, per-node
+	// edge loads, and the embedding-row stamp array behind the NodeBytes
+	// dedup (stamp[v] == nodeGen marks row v already counted for the node
+	// being scanned).
+	nodeOrder planOrder
+	nodeLoads []int
+	nodeStamp []int32
+	nodeGen   int32
 }
 
 // Recycle implements prep.Recycler: a released batch's plan drops nothing —
@@ -116,7 +141,7 @@ func (o *vidOrder) Swap(i, j int)      { o.s[i], o.s[j] = o.s[j], o.s[i] }
 // by balancing final-layer edges (AssignByEdges) and back-chaining each
 // shard's induced subgraph through every GNN layer.
 func PartitionBatch(b *prep.Batch, shards int) (*BatchPlan, error) {
-	return PartitionBatchReuse(b, shards, nil)
+	return PartitionBatchNodesReuse(b, shards, 1, nil)
 }
 
 // PartitionBatchReuse is PartitionBatch rebuilding a recycled plan in place
@@ -126,6 +151,21 @@ func PartitionBatch(b *prep.Batch, shards int) (*BatchPlan, error) {
 // function of (batch shape, shards): reuse cannot change a single assigned
 // dst, edge or byte (guarded by TestPartitionBatchReuseBitwise).
 func PartitionBatchReuse(b *prep.Batch, shards int, plan *BatchPlan) (*BatchPlan, error) {
+	return PartitionBatchNodesReuse(b, shards, 1, plan)
+}
+
+// PartitionBatchNodes is PartitionBatch for a hierarchical group: the shard
+// partition is identical to the flat one (it depends on shards alone, so
+// the trajectory is unaffected), and the shards are then assigned to
+// `nodes` nodes by LPT over final-layer edges.
+func PartitionBatchNodes(b *prep.Batch, shards, nodes int) (*BatchPlan, error) {
+	return PartitionBatchNodesReuse(b, shards, nodes, nil)
+}
+
+// PartitionBatchNodesReuse is the full partitioning entry point: shard
+// partition plus node assignment, rebuilding a recycled plan fully in place
+// (nil allocates a fresh one).
+func PartitionBatchNodesReuse(b *prep.Batch, shards, nodes int, plan *BatchPlan) (*BatchPlan, error) {
 	L := len(b.Layers)
 	if L == 0 {
 		return nil, errors.New("multigpu: batch has no layer graphs")
@@ -198,7 +238,106 @@ func PartitionBatchReuse(b *prep.Batch, shards int, plan *BatchPlan) (*BatchPlan
 		sub.HostBytes = prep.GraphBytes(sub.Layers) +
 			int64(len(sub.XRows))*int64(b.Embed.Dim)*4 + int64(len(sub.Labels))*4
 	}
+	plan.assignNodes(b, nodes)
 	return plan, nil
+}
+
+// assignNodes maps shards to nodes with LPT over final-layer edges
+// (heaviest shard to the lightest node, ties by lowest id) and computes the
+// per-node scatter payloads: each node pays its shards' graph and label
+// bytes plus one copy of every embedding row any of its shards touches —
+// the dedup that makes concentrating halo overlap inside a node shrink
+// cross-node scatter traffic. Pure function of (shard partition, nodes);
+// nodes <= 1 collapses to the single flat node, where the node layer is
+// inert — NodeOf/NodeBytes stay empty so the flat path never pays the
+// node-scratch allocations (the allocs/op ratchet holds it there).
+func (p *BatchPlan) assignNodes(b *prep.Batch, nodes int) {
+	if nodes <= 1 {
+		p.Nodes = 1
+		p.NodeImbalance = 1
+		p.NodeOf = p.NodeOf[:0]
+		p.NodeBytes = p.NodeBytes[:0]
+		return
+	}
+	p.Nodes = nodes
+	ns := len(p.Subs)
+	if cap(p.NodeOf) < ns {
+		p.NodeOf = make([]int, ns)
+	}
+	p.NodeOf = p.NodeOf[:ns]
+	if cap(p.NodeBytes) < nodes {
+		p.NodeBytes = make([]int64, nodes)
+	}
+	p.NodeBytes = p.NodeBytes[:nodes]
+
+	// LPT over shard edge counts (ties by lowest shard id, matching the
+	// shard-level discipline), via the retained sorter.
+	p.nodeOrder.d = graph.GrowVIDs(p.nodeOrder.d, ns)
+	if cap(p.nodeOrder.deg) < ns {
+		p.nodeOrder.deg = make([]int, ns)
+	}
+	p.nodeOrder.deg = p.nodeOrder.deg[:ns]
+	for s := range p.Subs {
+		p.nodeOrder.d[s] = graph.VID(s)
+		p.nodeOrder.deg[s] = p.Subs[s].Edges
+	}
+	sort.Sort(&p.nodeOrder)
+	if cap(p.nodeLoads) < nodes {
+		p.nodeLoads = make([]int, nodes)
+	}
+	p.nodeLoads = p.nodeLoads[:nodes]
+	for j := range p.nodeLoads {
+		p.nodeLoads[j] = 0
+	}
+	for i := 0; i < ns; i++ {
+		min := 0
+		for j := 1; j < nodes; j++ {
+			if p.nodeLoads[j] < p.nodeLoads[min] {
+				min = j
+			}
+		}
+		p.NodeOf[p.nodeOrder.d[i]] = min
+		p.nodeLoads[min] += p.nodeOrder.deg[i]
+	}
+	maxEdges, total := 0, 0
+	for j := 0; j < nodes; j++ {
+		total += p.nodeLoads[j]
+		if p.nodeLoads[j] > maxEdges {
+			maxEdges = p.nodeLoads[j]
+		}
+	}
+	p.NodeImbalance = 0
+	if total > 0 {
+		p.NodeImbalance = float64(maxEdges) / (float64(total) / float64(nodes))
+	}
+
+	// Per-node scatter payload with embedding-row dedup inside the node.
+	nv := b.Embed.NumVertices()
+	if cap(p.nodeStamp) < nv {
+		p.nodeStamp = make([]int32, nv)
+		p.nodeGen = 0
+	}
+	p.nodeStamp = p.nodeStamp[:nv]
+	rowBytes := int64(b.Embed.Dim) * 4
+	for j := 0; j < nodes; j++ {
+		p.nodeGen++
+		gen := p.nodeGen
+		var bytes int64
+		for s := range p.Subs {
+			if p.NodeOf[s] != j {
+				continue
+			}
+			sub := &p.Subs[s]
+			bytes += prep.GraphBytes(sub.Layers) + int64(len(sub.Labels))*4
+			for _, v := range sub.XRows {
+				if p.nodeStamp[v] != gen {
+					p.nodeStamp[v] = gen
+					bytes += rowBytes
+				}
+			}
+		}
+		p.NodeBytes[j] = bytes
+	}
 }
 
 // assignByEdges is the one LPT implementation (the exported AssignByEdges
@@ -393,6 +532,20 @@ type GroupStats struct {
 	// group's interconnect topology.
 	ScatterTime   time.Duration
 	AllReduceTime time.Duration
+	// Per-tier communication split of a hierarchical fabric. Nodes is the
+	// configured node count (1 = flat); IntraNodeTime is this step's
+	// intra-node communication (device scatter plus the collective's
+	// reduce-scatter/broadcast phases), InterNodeTime its network-tier
+	// communication (cross-node scatter plus the per-node ring), so
+	// IntraNodeTime + InterNodeTime == CommTime. CrossNodeBytes is the
+	// deduplicated payload that crossed the network this step and
+	// NodeImbalance the plan's edge imbalance across nodes. On a flat
+	// fabric the inter fields are zero and IntraNodeTime == CommTime.
+	Nodes          int
+	IntraNodeTime  time.Duration
+	InterNodeTime  time.Duration
+	CrossNodeBytes int64
+	NodeImbalance  float64
 	// StepTime is the modeled steady-state step latency under the
 	// overlapped schedule: the next batch's shard scatter starts while the
 	// previous step's all-reduce drains, so only the exposed remainder of
@@ -421,6 +574,17 @@ type GroupStats struct {
 	Placements []PlacementCount
 }
 
+// String renders the step's headline figures, including the per-tier
+// communication split (the inter columns stay zero on a flat fabric).
+func (st GroupStats) String() string {
+	return fmt.Sprintf(
+		"devs=%d shards=%d nodes=%d imb=%.2f nodeimb=%.2f step=%v serial=%v compute=%v scatter=%v allreduce=%v intra=%v inter=%v xnode=%.2fMB overlap=%.0f%%",
+		st.Devices, st.Shards, st.Nodes, st.Imbalance, st.NodeImbalance,
+		st.StepTime, st.StepTimeSerial, st.MaxDeviceCompute, st.ScatterTime, st.AllReduceTime,
+		st.IntraNodeTime, st.InterNodeTime, float64(st.CrossNodeBytes)/(1<<20),
+		st.OverlapEfficiency*100)
+}
+
 // DeviceGroup is the data-parallel training engine: a persistent set of
 // simulated devices, each owning its kernel context, its batch-scoped
 // device arena and a model replica. Every batch is carved into a fixed
@@ -437,12 +601,25 @@ type DeviceGroup struct {
 	shards int
 	pinned bool
 
-	// ic models the gradient collective's fabric; pendingDrain is the
-	// previous step's all-reduce time, which the next batch's shard scatter
-	// overlaps (§ comm/compute overlap — the modeled analogue of issuing
-	// the scatter while the collective drains).
-	ic           *gpusim.Interconnect
-	pendingDrain time.Duration
+	// ic models the gradient collective's fabric. The pending drains are
+	// the previous step's per-tier all-reduce times, which the next batch's
+	// scatter overlaps on the matching tier (§ comm/compute overlap — the
+	// modeled analogue of issuing the scatter while the collective drains):
+	// the device scatter hides under the intra-node drain at the fabric's
+	// contention, the cross-node scatter under the network drain at the
+	// network's. On a flat fabric the inter drain is always zero.
+	ic                *gpusim.Interconnect
+	pendingIntraDrain time.Duration
+	pendingInterDrain time.Duration
+
+	// Hierarchical topology: devsPerNode is the configured node size (0 =
+	// flat), nodes the node count the group was built at (fixed for the
+	// group's lifetime — device ids survive fault shrink, so a device's
+	// node id/devsPerNode never moves), nodeDevs the retained per-node
+	// device-index scratch assignShards rebuilds each batch.
+	devsPerNode int
+	nodes       int
+	nodeDevs    [][]int
 
 	// Cross-shard reduction state. grads[s] is written by exactly one
 	// device (shard s's owner); the fold reads them after the barrier.
@@ -517,6 +694,12 @@ func NewGroup(devices, shards int, cfg gpusim.Config, pinned bool,
 	}
 	g := &DeviceGroup{shards: shards, pinned: pinned, lossParts: make([]float64, shards),
 		ic: gpusim.NewInterconnect(cfg)}
+	g.devsPerNode = cfg.Interconnect.DevicesPerNode
+	g.nodes = g.ic.NumNodes(devices)
+	g.nodeDevs = make([][]int, g.nodes)
+	for j := range g.nodeDevs {
+		g.nodeDevs[j] = make([]int, 0, devices)
+	}
 	for i := 0; i < devices; i++ {
 		m, err := newModel()
 		if err != nil {
@@ -594,6 +777,12 @@ func (g *DeviceGroup) NumDevices() int { return len(g.devs) }
 // NumShards returns the fixed gradient-shard count.
 func (g *DeviceGroup) NumShards() int { return g.shards }
 
+// NumNodes returns the node count the group was built at (1 on a flat
+// fabric). Like the shard count it is fixed for the group's lifetime: plans
+// are keyed on it, and fault shrink never renumbers device ids out of
+// their node.
+func (g *DeviceGroup) NumNodes() int { return g.nodes }
+
 // Devices exposes the group's devices (tests assert per-device invariants
 // like MemInUse()==0 between batches).
 func (g *DeviceGroup) Devices() []*GroupDev { return g.devs }
@@ -661,9 +850,14 @@ func (d *GroupDev) clearGrads() {
 
 // assignShards maps shards to devices with LPT over final-layer edges
 // (heaviest shard to the lightest device, ties by lowest id), then orders
-// each device's shard list ascending. The mapping balances wall-clock work;
-// it cannot affect results — every shard's computation and the fold order
-// are independent of which device runs it.
+// each device's shard list ascending. On a hierarchical group the plan's
+// node assignment constrains the choice: a shard goes to the lightest
+// device *of its node*, which keeps the node-level dedup honest (a node
+// only scatters what its own shards need). A node whose devices all died
+// falls back to the global lightest device — scheduling only, so failover
+// stays numerically invisible. The mapping balances wall-clock work; it
+// cannot affect results — every shard's computation and the fold order are
+// independent of which device runs it.
 func (g *DeviceGroup) assignShards(plan *BatchPlan) {
 	order := g.shardOrder.s
 	for s := range plan.Subs {
@@ -677,11 +871,35 @@ func (g *DeviceGroup) assignShards(plan *BatchPlan) {
 	for _, d := range g.devs {
 		d.shards = d.shards[:0]
 	}
+	nodeAware := g.devsPerNode > 0 && g.nodes > 1 && plan.Nodes == g.nodes
+	if nodeAware {
+		for j := range g.nodeDevs {
+			g.nodeDevs[j] = g.nodeDevs[j][:0]
+		}
+		for i, d := range g.devs {
+			if j := d.id / g.devsPerNode; j < len(g.nodeDevs) {
+				g.nodeDevs[j] = append(g.nodeDevs[j], i)
+			}
+		}
+	}
 	for _, o := range order {
-		min := 0
-		for i := 1; i < len(loads); i++ {
-			if loads[i] < loads[min] {
-				min = i
+		min := -1
+		if nodeAware {
+			if cand := g.nodeDevs[plan.NodeOf[o.s]]; len(cand) > 0 {
+				min = cand[0]
+				for _, i := range cand[1:] {
+					if loads[i] < loads[min] {
+						min = i
+					}
+				}
+			}
+		}
+		if min < 0 {
+			min = 0
+			for i := 1; i < len(loads); i++ {
+				if loads[i] < loads[min] {
+					min = i
+				}
 			}
 		}
 		g.devs[min].shards = append(g.devs[min].shards, o.s)
@@ -818,9 +1036,9 @@ func (g *DeviceGroup) runShard(d *GroupDev, s int, sub *SubBatch) error {
 // replica. It returns the batch loss (identical at any device count).
 func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 	plan, _ := b.SubBatches.(*BatchPlan)
-	if plan == nil || plan.Shards != g.shards {
+	if plan == nil || plan.Shards != g.shards || plan.Nodes != g.nodes {
 		var err error
-		plan, err = PartitionBatch(b, g.shards)
+		plan, err = PartitionBatchNodes(b, g.shards, g.nodes)
 		if err != nil {
 			return 0, err
 		}
@@ -904,7 +1122,9 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 		}
 		gradBytes += int64(len(fd.Data)+len(fb)) * 4
 	}
-	arTime := g.ic.AllReduce(gradBytes, len(g.devs), g.pinned)
+	icBytes0 := g.ic.BytesMoved()
+	arIntra, arInter := g.ic.AllReduceTiers(gradBytes, len(g.devs), g.pinned)
+	arTime := arIntra + arInter
 	var lossSum float64
 	for s := 0; s < g.shards; s++ {
 		lossSum += g.lossParts[s]
@@ -923,6 +1143,7 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 	// is the slowest device's modeled host→device time; the all-reduce
 	// rides the interconnect.
 	st := GroupStats{Devices: len(g.devs), Shards: g.shards, Imbalance: plan.Imbalance,
+		Nodes: plan.Nodes, NodeImbalance: plan.NodeImbalance,
 		DeadDevices: g.deadDevs, Retries: retries, Placements: g.plStats}
 	tm := gpusim.DefaultKernelTimeModel()
 	for li := range g.plStats {
@@ -949,27 +1170,50 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 			st.ScatterTime = ct
 		}
 	}
-	if n := len(g.devs); n > 1 {
-		st.CommBytes += 2 * int64(n-1) * gradBytes
+	// Cross-node scatter: every node past the producer's receives its
+	// deduplicated payload over the network before its devices' PCIe
+	// copies, serialized on the producer node's uplink (one hop per remote
+	// node).
+	devScatter := st.ScatterTime
+	var netScatter time.Duration
+	if plan.Nodes > 1 {
+		for j := 1; j < len(plan.NodeBytes); j++ {
+			st.CrossNodeBytes += plan.NodeBytes[j]
+		}
+		netScatter = g.ic.InterScatter(st.CrossNodeBytes, plan.Nodes-1)
 	}
+	st.ScatterTime = netScatter + devScatter
 	st.AllReduceTime = arTime
+	st.IntraNodeTime = devScatter + arIntra
+	st.InterNodeTime = netScatter + arInter
+	// Fabric traffic beyond the per-device PCIe scatters: whatever the
+	// interconnect accrued this step (collective steps on both tiers plus
+	// the cross-node scatter payload).
+	st.CommBytes += g.ic.BytesMoved() - icBytes0
 	st.CommTime = st.ScatterTime + st.AllReduceTime
 	st.StepTimeSerial = st.MaxDeviceCompute + st.CommTime
 
-	// Overlapped schedule: this batch's shard scatter was issued while the
-	// previous step's all-reduce drained. During that drain window the
-	// scatter progresses at (1 − contention) of its full rate, so up to
-	// drain·(1−c) of scatter work leaves the critical path; the exposed
-	// remainder serializes before compute as usual.
-	hidden := time.Duration(float64(g.pendingDrain) * (1 - g.ic.OverlapContention()))
-	if hidden > st.ScatterTime {
-		hidden = st.ScatterTime
+	// Overlapped schedule: this batch's scatter was issued while the
+	// previous step's all-reduce drained, tier by tier. During the drain
+	// window a tier's scatter progresses at (1 − contention) of its full
+	// rate, so up to drain·(1−c) of scatter work leaves the critical path
+	// on each tier; the exposed remainder serializes before compute as
+	// usual. On a flat fabric the inter terms are zero and this is exactly
+	// the single-tier schedule.
+	hiddenIntra := time.Duration(float64(g.pendingIntraDrain) * (1 - g.ic.OverlapContention()))
+	if hiddenIntra > devScatter {
+		hiddenIntra = devScatter
 	}
+	hiddenInter := time.Duration(float64(g.pendingInterDrain) * (1 - g.ic.NetworkContention()))
+	if hiddenInter > netScatter {
+		hiddenInter = netScatter
+	}
+	hidden := hiddenIntra + hiddenInter
 	if st.ScatterTime > 0 {
 		st.OverlapEfficiency = float64(hidden) / float64(st.ScatterTime)
 	}
 	st.StepTime = (st.ScatterTime - hidden) + st.MaxDeviceCompute + st.AllReduceTime
-	g.pendingDrain = st.AllReduceTime
+	g.pendingIntraDrain, g.pendingInterDrain = arIntra, arInter
 
 	g.stats = st
 	g.plan, g.batch = nil, nil
