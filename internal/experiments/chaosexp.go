@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"strings"
+	"time"
 
 	"graphtensor/internal/datasets"
 	"graphtensor/internal/fault"
@@ -50,8 +51,8 @@ func runChaos(cfg Config) (*Result, error) {
 		queries[q] = ds.BatchDsts(querySize, uint64(70_000+q))
 	}
 
-	fmt.Fprintf(&sb, "%-26s %5s %6s %9s %7s %7s\n",
-		"serving config", "nrep", "dead", "failovers", "p99", "logits")
+	fmt.Fprintf(&sb, "%-26s %5s %6s %9s %8s %7s %7s\n",
+		"serving config", "nrep", "dead", "failovers", "rejoins", "p99", "logits")
 	type kill struct {
 		label    string
 		replicas int
@@ -61,9 +62,11 @@ func runChaos(cfg Config) (*Result, error) {
 		{"fault-free reference", 2, nil},
 		{"kill replica 0 @ batch 0", 2, fault.Schedule().Kill(0, 0)},
 		{"kill 2 of 4 replicas", 4, fault.Schedule().Kill(0, 0).Kill(2, 1)},
+		{"kill replica 0 + rejoin", 2, fault.NewPlan(1, fault.Config{RejoinProb: 1}).Kill(0, 0)},
 	}
 	if cfg.Quick {
-		kills = kills[:2]
+		// The quick sweep keeps one plain kill and the kill+rejoin row.
+		kills = []kill{kills[0], kills[1], kills[3]}
 	}
 	var refSums []uint64
 	for _, k := range kills {
@@ -85,36 +88,65 @@ func runChaos(cfg Config) (*Result, error) {
 				}
 			}
 		}
-		fmt.Fprintf(&sb, "%-26s %5d %6d %9d %7s %7s\n",
-			k.label, k.replicas, res.st.DeadReplicas, res.st.FailedOver,
+		fmt.Fprintf(&sb, "%-26s %5d %6d %9d %8d %7s %7s\n",
+			k.label, k.replicas, res.st.DeadReplicas, res.st.FailedOver, res.st.Rejoined,
 			res.st.Latency.P99.Round(10_000), verdict)
 		if verdict == "DIFF" {
-			return nil, fmt.Errorf("chaos: serving logits diverged under failover (%s)", k.label)
+			return nil, fmt.Errorf("chaos: serving logits diverged under failover (%s)\nresolved fault schedule:\n%s",
+				k.label, k.plan.Describe(nQueries, k.replicas))
 		}
 	}
 	sb.WriteByte('\n')
 
 	// --- Training: device death mid-run shrinks the group bitwise. ---
 	nBatches := cfg.batches(6)
-	refW, _, err := chaosTrainRun(cfg, ds, 1, nBatches, nil)
+	refW, _, err := chaosTrainRun(cfg, ds, 1, 0, nBatches, nil)
 	if err != nil {
 		return nil, err
 	}
-	killW, killTr, err := chaosTrainRun(cfg, ds, 2, nBatches, fault.Schedule().Kill(1, 1))
+	killW, killTr, err := chaosTrainRun(cfg, ds, 2, 0, nBatches, fault.Schedule().Kill(1, 1))
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(&sb, "%-26s %8s %6s %8s %8s\n", "training config", "devices", "dead", "retries", "weights")
-	fmt.Fprintf(&sb, "%-26s %8d %6d %8s %8s\n", "fault-free reference", 1, 0, "-", "ref")
+	fmt.Fprintf(&sb, "%-26s %8s %6s %8s %8s %8s\n", "training config", "devices", "dead", "retries", "rejoins", "weights")
+	fmt.Fprintf(&sb, "%-26s %8d %6d %8s %8s %8s\n", "fault-free reference", 1, 0, "-", "-", "ref")
 	verdict := "exact"
 	if killW != refW {
 		verdict = "DIFF"
 	}
 	g := killTr.Group()
-	fmt.Fprintf(&sb, "%-26s %8d %6d %8d %8s\n",
-		"kill device 1 @ batch 1", 2, g.DeadDevices(), g.Retries(), verdict)
+	fmt.Fprintf(&sb, "%-26s %8d %6d %8d %8d %8s\n",
+		"kill device 1 @ batch 1", 2, g.DeadDevices(), g.Retries(), g.Rejoined(), verdict)
 	if verdict == "DIFF" {
 		return nil, fmt.Errorf("chaos: training trajectory diverged after device death")
+	}
+
+	// --- Training: fault domains on the hierarchical fabric — a whole node
+	// dies at one boundary, a degradation window slows the modeled network,
+	// and the dead node's devices rejoin (weight snapshot reinstalled over a
+	// modeled cross-node broadcast). Still bitwise vs the 1-device run.
+	rejoinStep := 3 // after one re-noded batch; earlier when the run is short
+	if rejoinStep >= nBatches {
+		rejoinStep = nBatches - 1
+	}
+	nodePlan := fault.Schedule().
+		KillNode(1, 1).
+		Rejoin(2, rejoinStep).Rejoin(3, rejoinStep).
+		DegradeLink(rejoinStep-1, 1, 0.5, time.Millisecond)
+	nodeW, nodeTr, err := chaosTrainRun(cfg, ds, 4, 2, nBatches, nodePlan)
+	if err != nil {
+		return nil, err
+	}
+	verdict = "exact"
+	if nodeW != refW {
+		verdict = "DIFF"
+	}
+	g = nodeTr.Group()
+	fmt.Fprintf(&sb, "%-26s %8s %6d %8d %8d %8s\n",
+		"kill node 1 + rejoin both", "4(2/nd)", g.DeadDevices(), g.Retries(), g.Rejoined(), verdict)
+	if verdict == "DIFF" {
+		return nil, fmt.Errorf("chaos: trajectory diverged under node kill + link degrade + rejoin\nresolved fault schedule:\n%s",
+			nodePlan.Describe(nBatches, 4))
 	}
 
 	// --- Training: crash after a checkpoint, resume on fewer devices. ---
@@ -124,7 +156,7 @@ func runChaos(cfg Config) (*Result, error) {
 	}
 	defer os.RemoveAll(dir)
 	half := (nBatches + 1) / 2
-	crashed, err := chaosTrainer(cfg, ds, 2, nil)
+	crashed, err := chaosTrainer(cfg, ds, 2, 0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +165,7 @@ func runChaos(cfg Config) (*Result, error) {
 	if _, err := train.NewDriver(crashed, dcfg, nil).Run(); err != nil {
 		return nil, err
 	}
-	resumed, err := chaosTrainer(cfg, ds, 1, nil)
+	resumed, err := chaosTrainer(cfg, ds, 1, 0, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -146,28 +178,33 @@ func runChaos(cfg Config) (*Result, error) {
 	if weightSum(resumed) != refW {
 		verdict = "DIFF"
 	}
-	fmt.Fprintf(&sb, "%-26s %8s %6s %8s %8s\n",
-		fmt.Sprintf("crash@%d, resume on 1 dev", half), "2->1", "-", "-", verdict)
+	fmt.Fprintf(&sb, "%-26s %8s %6s %8s %8s %8s\n",
+		fmt.Sprintf("crash@%d, resume on 1 dev", half), "2->1", "-", "-", "-", verdict)
 	if verdict == "DIFF" {
 		return nil, fmt.Errorf("chaos: crash-resumed trajectory diverged from uninterrupted run")
 	}
 
 	sb.WriteString("\nEvery fault is drawn from a seeded plan — a pure function of\n" +
-		"(seed, step, device), never wall time — so each chaos run replays\n" +
-		"bitwise. Failover re-enqueues whole micro-batches and the device group\n" +
-		"replays whole batches on the survivors, so the logits and the training\n" +
-		"trajectory must equal the fault-free reference bit for bit; a DIFF\n" +
-		"fails the experiment.\n")
+		"(seed, kind, id, step), never wall time — so each chaos run replays\n" +
+		"bitwise. Failover re-enqueues whole micro-batches, the device group\n" +
+		"replays whole batches on the survivors (re-noding the plan after a\n" +
+		"whole-node loss), rejoins re-enter at batch boundaries by reinstalling\n" +
+		"the survivors' weight snapshot over a modeled broadcast, and link\n" +
+		"degradation scales modeled network time only — so the logits and the\n" +
+		"training trajectory must equal the fault-free reference bit for bit; a\n" +
+		"DIFF fails the experiment and prints the plan's resolved schedule.\n")
 	return &Result{Text: sb.String()}, nil
 }
 
 // chaosTrainer builds the data-parallel trainer the chaos training rows
 // share: BaseGT (the DKP-free build, so placement is deterministic at every
-// device count), optionally carrying a fault plan into the device group.
-func chaosTrainer(cfg Config, ds *datasets.Dataset, nDev int, plan *fault.Plan) (*frameworks.Trainer, error) {
+// device count), optionally on a hierarchical fabric (devsPerNode > 0) and
+// optionally carrying a fault plan into the device group.
+func chaosTrainer(cfg Config, ds *datasets.Dataset, nDev, devsPerNode int, plan *fault.Plan) (*frameworks.Trainer, error) {
 	opt := frameworks.DefaultOptions()
 	opt.Device = cfg.device()
 	opt.NumDevices = nDev
+	opt.DevicesPerNode = devsPerNode
 	opt.FaultPlan = plan
 	if cfg.Quick {
 		opt.BatchSize = 100
@@ -177,8 +214,8 @@ func chaosTrainer(cfg Config, ds *datasets.Dataset, nDev int, plan *fault.Plan) 
 
 // chaosTrainRun trains nBatches on an nDev-device group under the plan and
 // returns the final weight checksum plus the trainer (for group stats).
-func chaosTrainRun(cfg Config, ds *datasets.Dataset, nDev, nBatches int, plan *fault.Plan) (uint64, *frameworks.Trainer, error) {
-	tr, err := chaosTrainer(cfg, ds, nDev, plan)
+func chaosTrainRun(cfg Config, ds *datasets.Dataset, nDev, devsPerNode, nBatches int, plan *fault.Plan) (uint64, *frameworks.Trainer, error) {
+	tr, err := chaosTrainer(cfg, ds, nDev, devsPerNode, plan)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -1,26 +1,42 @@
 // Package fault is GraphTensor's deterministic fault-injection layer: the
 // chaos source the serving and training engines are hardened against. A
-// Plan decides, for every (device, step) pair, whether the device dies at
-// that step and how long its kernels stall — and the decision is a pure
-// function of the plan's seed and those two integers. Wall time never
-// enters: two runs with the same plan see byte-for-byte the same fault
-// schedule, so a chaos run replays bitwise and a failover bug reproduces
-// on the first try.
+// Plan decides, for every (unit, step) pair, whether that unit fails,
+// recovers or degrades at that step — and the decision is a pure function
+// of the plan's seed, the event kind and those two integers. Wall time
+// never enters: two runs with the same plan see byte-for-byte the same
+// fault schedule, so a chaos run replays bitwise and a failover bug
+// reproduces on the first try.
 //
-// Plans compose an explicit schedule (Kill/StallAt — the form tests use,
-// one kill at one step) with hash-derived probabilistic events (Config
-// rates — the form soak runs use). Both are deterministic; the
-// probabilistic form derives each verdict from splitmix64(seed, device,
-// step), so it is stable under any interleaving and any GOMAXPROCS.
+// The event vocabulary covers fault domains and elastic membership, not
+// just single devices: DeviceDies/StallFor (PR 7's originals), NodeDies
+// (a whole fault domain — every device on the node — lost in one batch
+// boundary), LinkDegraded (the inter-node network tier running slow for a
+// window of steps; modeled time only, never numerics), and
+// DeviceRejoins/ReplicaRejoins (a dead unit re-entering at a batch
+// boundary, the recovery half of elastic membership).
+//
+// Plans compose an explicit schedule (Kill/KillNode/StallAt/Rejoin/
+// RejoinReplica/DegradeLink — the form tests use, one event at one step)
+// with hash-derived probabilistic events (Config rates — the form soak
+// runs use). Both are deterministic; the probabilistic form derives each
+// verdict from splitmix64(seed, kind, id, step), so it is stable under any
+// interleaving and any GOMAXPROCS. Describe dumps the full resolved
+// schedule for a (steps, units) window, so any chaos failure is
+// reproducible from one printed line.
 //
 // The package is pure policy: it never touches a device. Integrations
 // (serve replicas, the multigpu DeviceGroup) query the plan at batch
 // boundaries — the only places the engines' determinism disciplines allow
 // behaviour to change — and drive the gpusim mechanisms (Device.Kill,
-// Device.InjectStall) themselves.
+// Device.Revive, Device.InjectStall, Interconnect.SetLinkDegradation)
+// themselves.
 package fault
 
-import "time"
+import (
+	"fmt"
+	"strings"
+	"time"
+)
 
 // Kind labels an injected event.
 type Kind uint8
@@ -36,6 +52,22 @@ const (
 	// SlowReplica marks the device slow for one step: a longer modeled
 	// delay, the knob that makes work stealing visible in chaos runs.
 	SlowReplica
+	// NodeDeath kills a whole fault domain: every device on the node dies
+	// at the same batch boundary (a host crash, a PSU trip — the
+	// correlated loss single-device kills cannot express).
+	NodeDeath
+	// LinkDegrade marks the inter-node network tier degraded for a window
+	// of steps: modeled bandwidth scales down and per-hop latency grows.
+	// Degradation touches modeled time only — never the fold order or any
+	// numeric result.
+	LinkDegrade
+	// DeviceRejoin re-admits a dead training device at a batch boundary:
+	// the group revives it, reinstalls the survivors' weight snapshot
+	// (paid as a modeled broadcast) and resumes sharding onto it.
+	DeviceRejoin
+	// ReplicaRejoin re-admits a dead serving replica: a fresh weight
+	// snapshot plus policy placements, home/steal queues reattached.
+	ReplicaRejoin
 )
 
 // Config sets the probabilistic event rates. All rates are per (device,
@@ -50,6 +82,22 @@ type Config struct {
 	// SlowProb and SlowTime shape slow-replica events (a longer stall).
 	SlowProb float64
 	SlowTime time.Duration
+	// NodeDeathProb is the per-(node, step) probability a whole node dies
+	// (every device on it, one batch boundary).
+	NodeDeathProb float64
+	// RejoinProb is the per-(unit, step) probability a dead device or
+	// replica rejoins. Engines consult it only for units that are actually
+	// dead, so a high rate means fast re-provisioning, not churn.
+	RejoinProb float64
+	// LinkDegradeProb is the per-step probability a link-degradation
+	// window *starts*; each window lasts LinkDegradeSteps steps (min 1),
+	// scales the modeled network bandwidth by LinkDegradeFactor (clamped
+	// to (0, 1]; 0 defaults to 0.25) and adds LinkDegradeLatency to every
+	// network hop. Overlapping windows take the worst factor and latency.
+	LinkDegradeProb    float64
+	LinkDegradeFactor  float64
+	LinkDegradeSteps   int
+	LinkDegradeLatency time.Duration
 }
 
 // Plan is a deterministic fault schedule. The zero value is unusable; use
@@ -57,29 +105,46 @@ type Config struct {
 // StallAt return before any engine consults it), so concurrent queries
 // from replicas and device workers need no synchronization.
 type Plan struct {
-	seed   uint64
-	cfg    Config
-	kills  map[devStep]bool
-	stalls map[devStep]time.Duration
+	seed       uint64
+	cfg        Config
+	kills      map[devStep]bool
+	stalls     map[devStep]time.Duration
+	nodeKills  map[devStep]bool
+	rejoins    map[devStep]bool
+	repRejoins map[devStep]bool
+	degrades   []linkWindow
 }
 
 type devStep struct {
 	dev, step int
 }
 
+// linkWindow is one explicit link-degradation window: steps [start,
+// start+steps) run the network tier at factor × bandwidth with extra
+// per-hop latency.
+type linkWindow struct {
+	start, steps int
+	factor       float64
+	extra        time.Duration
+}
+
 // NewPlan builds a plan from a seed and probabilistic rates. Explicit
 // events may be layered on with Kill/StallAt before use.
 func NewPlan(seed uint64, cfg Config) *Plan {
 	return &Plan{
-		seed:   seed,
-		cfg:    cfg,
-		kills:  map[devStep]bool{},
-		stalls: map[devStep]time.Duration{},
+		seed:       seed,
+		cfg:        cfg,
+		kills:      map[devStep]bool{},
+		stalls:     map[devStep]time.Duration{},
+		nodeKills:  map[devStep]bool{},
+		rejoins:    map[devStep]bool{},
+		repRejoins: map[devStep]bool{},
 	}
 }
 
 // Schedule builds a plan with no probabilistic events — the explicit form
-// chaos tests use: exactly the kills and stalls added via Kill/StallAt.
+// chaos tests use: exactly the events added via Kill/KillNode/StallAt/
+// Rejoin/RejoinReplica/DegradeLink.
 func Schedule() *Plan { return NewPlan(0, Config{}) }
 
 // Kill schedules device dev to die at step (its step-th batch, counted
@@ -94,6 +159,55 @@ func (p *Plan) Kill(dev, step int) *Plan {
 func (p *Plan) StallAt(dev, step int, d time.Duration) *Plan {
 	p.stalls[devStep{dev, step}] = d
 	return p
+}
+
+// KillNode schedules the whole node to die at step: the engine kills every
+// device on it at that batch boundary. Returns the plan for chaining.
+func (p *Plan) KillNode(node, step int) *Plan {
+	p.nodeKills[devStep{node, step}] = true
+	return p
+}
+
+// Rejoin schedules dead device dev to re-enter the group at step (a batch
+// boundary; the engine ignores rejoins for devices that are alive).
+// Returns the plan for chaining.
+func (p *Plan) Rejoin(dev, step int) *Plan {
+	p.rejoins[devStep{dev, step}] = true
+	return p
+}
+
+// RejoinReplica schedules dead serving replica r to respawn at step (the
+// server-wide served-batch sequence; ignored while the replica is alive).
+// Returns the plan for chaining.
+func (p *Plan) RejoinReplica(r, step int) *Plan {
+	p.repRejoins[devStep{r, step}] = true
+	return p
+}
+
+// DegradeLink schedules a link-degradation window: the inter-node network
+// tier runs at factor × bandwidth (clamped to (0, 1]) with extra added to
+// every hop for `steps` steps starting at `start`. Returns the plan for
+// chaining.
+func (p *Plan) DegradeLink(start, steps int, factor float64, extra time.Duration) *Plan {
+	if steps < 1 {
+		steps = 1
+	}
+	p.degrades = append(p.degrades, linkWindow{start: start, steps: steps,
+		factor: clampFactor(factor), extra: extra})
+	return p
+}
+
+// clampFactor normalizes a bandwidth-scale factor into (0, 1]: a degraded
+// link is slower, never faster, and never fully dark (a zero-bandwidth
+// link is a partition, which the membership events model instead).
+func clampFactor(f float64) float64 {
+	if f <= 0 {
+		return 0.25
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
 }
 
 // DeviceDies reports whether device dev dies at step. Pure: the same
@@ -120,6 +234,117 @@ func (p *Plan) StallFor(dev, step int) time.Duration {
 		d += p.cfg.SlowTime
 	}
 	return d
+}
+
+// NodeDies reports whether node (a fault domain: every device on it) dies
+// at step. Pure like DeviceDies.
+func (p *Plan) NodeDies(node, step int) bool {
+	if p.nodeKills[devStep{node, step}] {
+		return true
+	}
+	return p.cfg.NodeDeathProb > 0 && p.roll(uint64(NodeDeath), node, step) < p.cfg.NodeDeathProb
+}
+
+// DeviceRejoins reports whether dead device dev rejoins the group at step.
+// Engines consult it only for devices that are currently dead; the answer
+// for an alive device is meaningless but still deterministic.
+func (p *Plan) DeviceRejoins(dev, step int) bool {
+	if p.rejoins[devStep{dev, step}] {
+		return true
+	}
+	return p.cfg.RejoinProb > 0 && p.roll(uint64(DeviceRejoin), dev, step) < p.cfg.RejoinProb
+}
+
+// ReplicaRejoins reports whether dead serving replica r respawns at step.
+// Same contract as DeviceRejoins: consulted only while dead.
+func (p *Plan) ReplicaRejoins(r, step int) bool {
+	if p.repRejoins[devStep{r, step}] {
+		return true
+	}
+	return p.cfg.RejoinProb > 0 && p.roll(uint64(ReplicaRejoin), r, step) < p.cfg.RejoinProb
+}
+
+// LinkDegraded returns the network-tier degradation in force at step: a
+// bandwidth scale factor in (0, 1] (1 = healthy) and extra per-hop
+// latency. Overlapping windows combine worst-case — minimum factor,
+// maximum extra. Pure: explicit windows from DegradeLink plus
+// probabilistic window starts derived from (seed, step).
+func (p *Plan) LinkDegraded(step int) (factor float64, extra time.Duration) {
+	factor = 1
+	for _, w := range p.degrades {
+		if step >= w.start && step < w.start+w.steps {
+			if w.factor < factor {
+				factor = w.factor
+			}
+			if w.extra > extra {
+				extra = w.extra
+			}
+		}
+	}
+	if p.cfg.LinkDegradeProb > 0 {
+		steps := p.cfg.LinkDegradeSteps
+		if steps < 1 {
+			steps = 1
+		}
+		f := clampFactor(p.cfg.LinkDegradeFactor)
+		// A window covering step must have started in
+		// [step-steps+1, step]; scan those starts.
+		for s := step - steps + 1; s <= step; s++ {
+			if s < 0 {
+				continue
+			}
+			if p.roll(uint64(LinkDegrade), 0, s) < p.cfg.LinkDegradeProb {
+				if f < factor {
+					factor = f
+				}
+				if p.cfg.LinkDegradeLatency > extra {
+					extra = p.cfg.LinkDegradeLatency
+				}
+				break
+			}
+		}
+	}
+	return factor, extra
+}
+
+// Describe resolves every event the plan injects over steps [0, steps) for
+// unit ids [0, units) — units bounds devices, nodes and replicas alike —
+// and renders them as one compact line per step. The dump is the
+// reproduction recipe for a chaos divergence: feed the same seed, config
+// and explicit schedule back in and the identical events replay.
+func (p *Plan) Describe(steps, units int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault.Plan seed=%d steps=%d units=%d\n", p.seed, steps, units)
+	n := 0
+	for step := 0; step < steps; step++ {
+		var evs []string
+		for u := 0; u < units; u++ {
+			if p.DeviceDies(u, step) {
+				evs = append(evs, fmt.Sprintf("kill(dev=%d)", u))
+			}
+			if d := p.StallFor(u, step); d > 0 {
+				evs = append(evs, fmt.Sprintf("stall(dev=%d,%v)", u, d))
+			}
+			if p.NodeDies(u, step) {
+				evs = append(evs, fmt.Sprintf("killnode(node=%d)", u))
+			}
+			if p.DeviceRejoins(u, step) {
+				evs = append(evs, fmt.Sprintf("rejoin(dev=%d)", u))
+			}
+			if p.ReplicaRejoins(u, step) {
+				evs = append(evs, fmt.Sprintf("rejoin(replica=%d)", u))
+			}
+		}
+		if f, extra := p.LinkDegraded(step); f < 1 || extra > 0 {
+			evs = append(evs, fmt.Sprintf("degrade(link,factor=%.2f,extra=%v)", f, extra))
+		}
+		if len(evs) > 0 {
+			fmt.Fprintf(&b, "  step %d: %s\n", step, strings.Join(evs, " "))
+			n += len(evs)
+		}
+	}
+	fmt.Fprintf(&b, "  total %d events\n", n)
+	return b.String()
 }
 
 // roll maps (seed, kind, dev, step) to a uniform [0,1) value via a

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -85,6 +86,121 @@ func TestFaultExplicitSchedule(t *testing.T) {
 				t.Fatalf("StallFor(%d,%d) = %v, want %v", dev, step, got, wantStall)
 			}
 		}
+	}
+}
+
+// TestFaultNodeAndRejoinSchedule: the fault-domain and membership events
+// from the explicit schedule fire exactly where programmed and nowhere
+// else, and device/replica rejoins are independent event streams.
+func TestFaultNodeAndRejoinSchedule(t *testing.T) {
+	p := Schedule().KillNode(1, 2).Rejoin(3, 5).RejoinReplica(0, 4)
+	for u := 0; u < 4; u++ {
+		for step := 0; step < 8; step++ {
+			if got, want := p.NodeDies(u, step), u == 1 && step == 2; got != want {
+				t.Fatalf("NodeDies(%d,%d) = %v, want %v", u, step, got, want)
+			}
+			if got, want := p.DeviceRejoins(u, step), u == 3 && step == 5; got != want {
+				t.Fatalf("DeviceRejoins(%d,%d) = %v, want %v", u, step, got, want)
+			}
+			if got, want := p.ReplicaRejoins(u, step), u == 0 && step == 4; got != want {
+				t.Fatalf("ReplicaRejoins(%d,%d) = %v, want %v", u, step, got, want)
+			}
+		}
+	}
+}
+
+// TestFaultLinkDegradeWindows: explicit windows cover exactly their steps,
+// overlaps combine worst-case, and the factor clamps into (0, 1].
+func TestFaultLinkDegradeWindows(t *testing.T) {
+	p := Schedule().
+		DegradeLink(2, 3, 0.5, time.Millisecond).
+		DegradeLink(4, 2, 0.25, 0)
+	want := []struct {
+		factor float64
+		extra  time.Duration
+	}{
+		{1, 0},                   // 0
+		{1, 0},                   // 1
+		{0.5, time.Millisecond},  // 2
+		{0.5, time.Millisecond},  // 3
+		{0.25, time.Millisecond}, // 4: overlap takes min factor, max extra
+		{0.25, 0},                // 5
+		{1, 0},                   // 6
+	}
+	for step, w := range want {
+		f, e := p.LinkDegraded(step)
+		if f != w.factor || e != w.extra {
+			t.Fatalf("LinkDegraded(%d) = (%v, %v), want (%v, %v)", step, f, e, w.factor, w.extra)
+		}
+	}
+	// Factor clamps: <=0 defaults to 0.25, >1 clamps to healthy.
+	if f, _ := Schedule().DegradeLink(0, 1, 0, 0).LinkDegraded(0); f != 0.25 {
+		t.Fatalf("factor 0 should default to 0.25, got %v", f)
+	}
+	if f, _ := Schedule().DegradeLink(0, 1, 7, 0).LinkDegraded(0); f != 1 {
+		t.Fatalf("factor 7 should clamp to 1, got %v", f)
+	}
+}
+
+// TestFaultLinkDegradeProbabilisticWindows: probabilistic windows span
+// LinkDegradeSteps consecutive steps from their start and are pure
+// functions of (seed, step).
+func TestFaultLinkDegradeProbabilisticWindows(t *testing.T) {
+	cfg := Config{LinkDegradeProb: 0.05, LinkDegradeFactor: 0.5,
+		LinkDegradeSteps: 4, LinkDegradeLatency: time.Millisecond}
+	a, b := NewPlan(9, cfg), NewPlan(9, cfg)
+	degraded := 0
+	for step := 0; step < 1024; step++ {
+		fa, ea := a.LinkDegraded(step)
+		fb, eb := b.LinkDegraded(step)
+		if fa != fb || ea != eb {
+			t.Fatalf("LinkDegraded(%d) diverged between identical plans", step)
+		}
+		if fa < 1 {
+			degraded++
+			if fa != 0.5 || ea != time.Millisecond {
+				t.Fatalf("degraded step %d = (%v, %v), want (0.5, 1ms)", step, fa, ea)
+			}
+		}
+	}
+	// 5% start rate with 4-step windows should degrade roughly 18% of
+	// steps (1 - 0.95^4); accept a wide band.
+	if degraded < 60 || degraded > 400 {
+		t.Fatalf("degraded %d/1024 steps; window expansion looks wrong", degraded)
+	}
+	// A window must be contiguous: every degraded step's predecessor or
+	// successor inside the window length is degraded or it is a start.
+	for step := 1; step < 1024; step++ {
+		f, _ := a.LinkDegraded(step)
+		if f >= 1 {
+			continue
+		}
+		prev, _ := a.LinkDegraded(step - 1)
+		started := a.roll(uint64(LinkDegrade), 0, step) < cfg.LinkDegradeProb
+		if prev >= 1 && !started {
+			t.Fatalf("step %d degraded without a start and without a degraded predecessor", step)
+		}
+	}
+}
+
+// TestFaultDescribeSchedule: Describe dumps every resolved event for the
+// window — the one-line reproduction recipe chaos divergences print.
+func TestFaultDescribeSchedule(t *testing.T) {
+	p := Schedule().Kill(0, 1).KillNode(1, 2).Rejoin(0, 3).
+		RejoinReplica(2, 4).DegradeLink(1, 2, 0.5, time.Millisecond)
+	out := p.Describe(6, 4)
+	for _, want := range []string{
+		"kill(dev=0)", "killnode(node=1)", "rejoin(dev=0)",
+		"rejoin(replica=2)", "degrade(link,factor=0.50,extra=1ms)",
+		"step 1:", "step 4:", "total 6 events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Describe output missing %q:\n%s", want, out)
+		}
+	}
+	// An empty plan dumps no events.
+	if out := Schedule().Describe(4, 4); !strings.Contains(out, "total 0 events") {
+		t.Fatalf("empty plan Describe should report 0 events:\n%s", out)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"graphtensor/internal/fault"
 	"graphtensor/internal/multigpu"
 )
 
@@ -101,6 +102,75 @@ func TestRestoreOntoFewerDevicesBitwise(t *testing.T) {
 	}
 	if !multigpu.SameWeights(c.Group().Replica(0), c.Group().Replica(1)) {
 		t.Fatal("restore left device-group replicas diverged")
+	}
+}
+
+// TestRestoreAfterNodeLoss extends the crash-resume guarantee to fault
+// domains on the hierarchical fabric: a run that loses a *whole node* —
+// both its devices at one batch boundary, correlated — checkpoints from the
+// survivors, and the snapshot restores onto a fresh full-fabric group (and
+// onto a single flat device) with the remaining trajectory bitwise
+// identical to an uninterrupted run. Node loss is scheduling only; the
+// snapshot neither knows nor cares which nodes were alive when it was cut.
+func TestRestoreAfterNodeLoss(t *testing.T) {
+	ref := ckptTrainer(t, 1)
+	mustTrain(t, ref, 6)
+	refW := collectWeights(ref)
+
+	hierOpts := func() Options {
+		opt := quickOpts()
+		opt.NumDevices = 4
+		opt.DevicesPerNode = 2
+		return opt
+	}
+	opt := hierOpts()
+	opt.FaultPlan = fault.Schedule().KillNode(1, 1)
+	a, err := New(BaseGT, testDS(t), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustTrain(t, a, 3)
+	if g := a.Group(); g.NumDevices() != 2 || g.DeadDevices() != 2 {
+		t.Fatalf("node kill left %d devices alive / %d dead, want 2/2",
+			g.NumDevices(), g.DeadDevices())
+	}
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := a.Checkpoint(path, a.batchSeq); err != nil {
+		t.Fatal(err)
+	}
+
+	// Onto a fresh, fault-free hierarchical group: the restore installs the
+	// weights on all four replicas and the resumed trajectory matches the
+	// uninterrupted single-device run bitwise.
+	b, err := New(BaseGT, testDS(t), hierOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Restore(path); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < b.Group().NumDevices(); i++ {
+		if !multigpu.SameWeights(b.Group().Replica(0), b.Group().Replica(i)) {
+			t.Fatalf("restore left hierarchical replica %d diverged", i)
+		}
+	}
+	mustTrain(t, b, 3)
+	for i, w := range collectWeights(b) {
+		if w != refW[i] {
+			t.Fatalf("resumed-after-node-loss weight[%d] = %v, uninterrupted %v", i, w, refW[i])
+		}
+	}
+
+	// Onto a single flat device — fewer than the crashed run even had alive.
+	c := ckptTrainer(t, 1)
+	if _, err := c.Restore(path); err != nil {
+		t.Fatal(err)
+	}
+	mustTrain(t, c, 3)
+	for i, w := range collectWeights(c) {
+		if w != refW[i] {
+			t.Fatalf("resumed-on-1-device weight[%d] = %v, uninterrupted %v", i, w, refW[i])
+		}
 	}
 }
 

@@ -378,9 +378,17 @@ func (d *Device) ResetCounters() {
 }
 
 // Kill marks the device dead: every subsequent Alloc fails with
-// *DeviceLostError. Killing twice is a no-op; there is no resurrection —
-// engines drop the device and degrade to the surviving set.
+// *DeviceLostError. Killing twice is a no-op; engines drop the device and
+// degrade to the surviving set until Revive re-admits it.
 func (d *Device) Kill() { d.dead.Store(true) }
+
+// Revive clears the dead flag: the elastic-membership half of the fault
+// model, a replacement device coming up under the old identity. The
+// simulated hardware carries no batch state across death (EndBatch and
+// arena release already cleaned it), so reviving is just re-opening the
+// allocator; the *engine* owns re-installing weights before the device
+// serves a shard. Reviving an alive device is a no-op.
+func (d *Device) Revive() { d.dead.Store(false) }
 
 // Alive reports whether the device has not been killed.
 func (d *Device) Alive() bool { return !d.dead.Load() }

@@ -2,6 +2,7 @@ package gpusim
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -151,6 +152,14 @@ type Interconnect struct {
 	interNs    atomic.Int64
 	intraBytes atomic.Int64
 	interBytes atomic.Int64
+
+	// Link degradation (fault injection): the network tier runs at
+	// degradeFactor × bandwidth with degradeExtraNs added to every hop
+	// while a chaos plan declares a degradation window. Stored as atomics
+	// so the batch-boundary writer never races concurrent device workers
+	// reading Network(). Zero degradeFactor bits mean healthy (factor 1).
+	degradeFactor  atomic.Uint64
+	degradeExtraNs atomic.Int64
 }
 
 // NewInterconnect builds the engine from a device config (whose
@@ -178,7 +187,10 @@ func (ic *Interconnect) linkParams() (bw, latNs float64) {
 }
 
 // Network resolves the effective inter-node tier parameters (zero-valued
-// config fields fall back to DefaultNetworkLink).
+// config fields fall back to DefaultNetworkLink), with any active link
+// degradation applied: bandwidth scaled down by the degradation factor and
+// the extra per-hop latency added. Degradation shapes modeled time only —
+// collective results and fold order never see it.
 func (ic *Interconnect) Network() NetworkLink {
 	net := ic.cfg.Network
 	def := DefaultNetworkLink()
@@ -188,7 +200,42 @@ func (ic *Interconnect) Network() NetworkLink {
 	if net.HopLatencyNs <= 0 {
 		net.HopLatencyNs = def.HopLatencyNs
 	}
+	if bits := ic.degradeFactor.Load(); bits != 0 {
+		if f := math.Float64frombits(bits); f > 0 && f < 1 {
+			net.BytesPerSec *= f
+		}
+	}
+	if extra := ic.degradeExtraNs.Load(); extra > 0 {
+		net.HopLatencyNs += float64(extra)
+	}
 	return net
+}
+
+// SetLinkDegradation installs (or, with factor >= 1 and extra 0, clears)
+// the network tier's degradation state: bandwidth scaled by factor, extra
+// added to every hop. Engines call it at batch boundaries from the chaos
+// plan's LinkDegraded verdict; flat single-node fabrics have no network
+// tier, so degradation is inert there by construction.
+func (ic *Interconnect) SetLinkDegradation(factor float64, extra time.Duration) {
+	if factor >= 1 {
+		ic.degradeFactor.Store(0)
+	} else {
+		if factor <= 0 {
+			factor = 0.25
+		}
+		ic.degradeFactor.Store(math.Float64bits(factor))
+	}
+	ic.degradeExtraNs.Store(int64(extra))
+}
+
+// LinkDegradation reports the installed degradation (factor 1, extra 0
+// when healthy).
+func (ic *Interconnect) LinkDegradation() (factor float64, extra time.Duration) {
+	factor = 1
+	if bits := ic.degradeFactor.Load(); bits != 0 {
+		factor = math.Float64frombits(bits)
+	}
+	return factor, time.Duration(ic.degradeExtraNs.Load())
 }
 
 // NumNodes returns how many nodes a collective over n devices spans under
@@ -293,6 +340,36 @@ func (ic *Interconnect) InterScatter(bytes int64, hops int) time.Duration {
 	d := time.Duration(float64(hops)*net.HopLatencyNs + float64(bytes)/net.BytesPerSec*1e9)
 	ic.interNs.Add(int64(d))
 	ic.interBytes.Add(bytes)
+	return d
+}
+
+// Broadcast accounts a one-source weight reinstall — the modeled cost of
+// an elastic rejoin, where one survivor streams the full weight snapshot to
+// the returning device. crossNode selects the tier: false is one
+// device-to-device transfer on the intra tier (paying the pageable staging
+// factor on a PCIe fabric when pinned is false), true is one network hop on
+// the inter tier (RDMA — no pageable factor, but any active link
+// degradation applies). bytes <= 0 returns 0 without touching the
+// accumulators.
+func (ic *Interconnect) Broadcast(bytes int64, crossNode, pinned bool) time.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	if crossNode {
+		net := ic.Network()
+		d := time.Duration(net.HopLatencyNs + float64(bytes)/net.BytesPerSec*1e9)
+		ic.interNs.Add(int64(d))
+		ic.interBytes.Add(bytes)
+		return d
+	}
+	bw, latNs := ic.linkParams()
+	ns := latNs + float64(bytes)/bw*1e9
+	if ic.cfg.Topology != TopologyNVLink && !pinned {
+		ns *= ic.dev.PageableOverhead
+	}
+	d := time.Duration(ns)
+	ic.intraNs.Add(int64(d))
+	ic.intraBytes.Add(bytes)
 	return d
 }
 

@@ -252,6 +252,16 @@ func PartitionBatchNodesReuse(b *prep.Batch, shards, nodes int, plan *BatchPlan)
 // inert — NodeOf/NodeBytes stay empty so the flat path never pays the
 // node-scratch allocations (the allocs/op ratchet holds it there).
 func (p *BatchPlan) assignNodes(b *prep.Batch, nodes int) {
+	p.assignNodesMask(b, nodes, nil)
+}
+
+// assignNodesMask is assignNodes restricted to an alive-node set (nil =
+// all alive): after a whole-node loss the group re-runs the assignment
+// over the survivors, so dead nodes draw no shards and no scatter payload.
+// Still a pure function — now of (shard partition, nodes, mask) — so a
+// degraded run's schedule replays bitwise; and like the unmasked form it
+// steers modeled scheduling and communication only, never the fold order.
+func (p *BatchPlan) assignNodesMask(b *prep.Batch, nodes int, alive []bool) {
 	if nodes <= 1 {
 		p.Nodes = 1
 		p.NodeImbalance = 1
@@ -290,25 +300,35 @@ func (p *BatchPlan) assignNodes(b *prep.Batch, nodes int) {
 		p.nodeLoads[j] = 0
 	}
 	for i := 0; i < ns; i++ {
-		min := 0
-		for j := 1; j < nodes; j++ {
-			if p.nodeLoads[j] < p.nodeLoads[min] {
+		min := -1
+		for j := 0; j < nodes; j++ {
+			if alive != nil && !alive[j] {
+				continue
+			}
+			if min < 0 || p.nodeLoads[j] < p.nodeLoads[min] {
 				min = j
 			}
+		}
+		if min < 0 {
+			min = 0 // no alive node: degenerate, callers guarantee survivors
 		}
 		p.NodeOf[p.nodeOrder.d[i]] = min
 		p.nodeLoads[min] += p.nodeOrder.deg[i]
 	}
-	maxEdges, total := 0, 0
+	maxEdges, total, aliveN := 0, 0, 0
 	for j := 0; j < nodes; j++ {
+		if alive != nil && !alive[j] {
+			continue
+		}
+		aliveN++
 		total += p.nodeLoads[j]
 		if p.nodeLoads[j] > maxEdges {
 			maxEdges = p.nodeLoads[j]
 		}
 	}
 	p.NodeImbalance = 0
-	if total > 0 {
-		p.NodeImbalance = float64(maxEdges) / (float64(total) / float64(nodes))
+	if total > 0 && aliveN > 0 {
+		p.NodeImbalance = float64(maxEdges) / (float64(total) / float64(aliveN))
 	}
 
 	// Per-node scatter payload with embedding-row dedup inside the node.
@@ -568,6 +588,13 @@ type GroupStats struct {
 	DeadDevices int
 	Retries     int
 	StallTime   time.Duration
+	// Rejoined counts devices re-admitted at this step's boundary;
+	// RejoinBcastTime is the modeled weight-reinstall broadcast they cost
+	// (one full-snapshot transfer per rejoiner, split across the tier
+	// accumulators so IntraNodeTime + InterNodeTime == CommTime still
+	// holds). Both are zero on every fault-free step.
+	Rejoined        int
+	RejoinBcastTime time.Duration
 	// Placements[li] counts layer li's shard executions this step by the
 	// placement the policy chose. The backing array is group-owned and
 	// overwritten by the next TrainBatch.
@@ -647,11 +674,20 @@ type DeviceGroup struct {
 	// Fault state: fplan is the deterministic injection schedule (nil in
 	// production — one predicted branch per batch), step the 0-based
 	// TrainBatch counter it is consulted at, deadDevs the lifetime death
-	// count.
-	fplan      *fault.Plan
-	step       int
-	deadDevs   int
-	retriesSum int
+	// count. deadPool holds dropped devices intact — replica, context,
+	// arena — so an elastic rejoin re-admits the original identity;
+	// rejoinedSum is the lifetime rejoin count. nodeAlive is the retained
+	// alive-node mask renodeSurvivors rebuilds after a whole-node loss, and
+	// renodeHops the cross-node scatter hop count while that mask is in
+	// force (-1 = default, plan.Nodes-1).
+	fplan       *fault.Plan
+	step        int
+	deadDevs    int
+	retriesSum  int
+	deadPool    []*GroupDev
+	rejoinedSum int
+	nodeAlive   []bool
+	renodeHops  int
 
 	stats GroupStats
 }
@@ -810,10 +846,17 @@ func (g *DeviceGroup) DeadDevices() int { return g.deadDevs }
 // most recent batch only).
 func (g *DeviceGroup) Retries() int { return g.retriesSum }
 
+// Rejoined reports how many dead devices have re-entered the group over
+// its lifetime (LastStats().Rejoined is the per-step count).
+func (g *DeviceGroup) Rejoined() int { return g.rejoinedSum }
+
 // dropDead removes killed devices from the group, shrinking it to the
-// surviving set: their replicas are discarded (replicas are identical
-// before every Step, so nothing is lost) and the per-device scratch
-// re-slices to the new size. Returns false when no device survives.
+// surviving set: their replicas go stale (replicas are identical before
+// every Step, so nothing is lost — a later rejoin reinstalls the
+// survivors' weights) and the per-device scratch re-slices to the new
+// size. Dropped devices park in deadPool keeping their identity, so an
+// elastic rejoin re-admits the same id into the same node. Returns false
+// when no device survives.
 func (g *DeviceGroup) dropDead() bool {
 	keep := g.devs[:0]
 	for _, d := range g.devs {
@@ -821,6 +864,7 @@ func (g *DeviceGroup) dropDead() bool {
 			keep = append(keep, d)
 		} else {
 			g.deadDevs++
+			g.deadPool = append(g.deadPool, d)
 		}
 	}
 	if len(keep) == len(g.devs) {
@@ -918,6 +962,42 @@ func (g *DeviceGroup) assignShards(plan *BatchPlan) {
 			d.shards[j+1] = v
 		}
 	}
+}
+
+// renodeSurvivors re-runs the plan's node assignment over the alive node
+// set when a whole node has died: dead nodes draw no shards and no scatter
+// payload, and the cross-node scatter pays one hop per surviving remote
+// node (renodeHops). The masked assignment is still a pure function of
+// (batch shape, nodes, mask) — it steers modeled scheduling and
+// communication only, so the degraded run's trajectory stays bitwise
+// identical to the fault-free reference. Called only while the dead pool
+// is non-empty; the fault-free path never reaches it.
+func (g *DeviceGroup) renodeSurvivors(plan *BatchPlan, b *prep.Batch) {
+	if cap(g.nodeAlive) < g.nodes {
+		g.nodeAlive = make([]bool, g.nodes)
+	}
+	g.nodeAlive = g.nodeAlive[:g.nodes]
+	for j := range g.nodeAlive {
+		g.nodeAlive[j] = false
+	}
+	for _, d := range g.devs {
+		if j := d.id / g.devsPerNode; j < g.nodes {
+			g.nodeAlive[j] = true
+		}
+	}
+	allAlive, remote := true, 0
+	for j, a := range g.nodeAlive {
+		if !a {
+			allAlive = false
+		} else if j > 0 {
+			remote++
+		}
+	}
+	if allAlive {
+		return // dead devices, but every node still has survivors
+	}
+	plan.assignNodesMask(b, g.nodes, g.nodeAlive)
+	g.renodeHops = remote
 }
 
 // groupDeviceTask is the worker-pool entry: each claimed device index runs
@@ -1048,6 +1128,75 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 	step := g.step
 	g.step++
 
+	// Fabric-traffic baseline for this step's CommBytes: taken before any
+	// rejoin broadcast so the weight reinstall shows up in the accounting.
+	icBytes0 := g.ic.BytesMoved()
+
+	// Elastic membership, consulted once per batch boundary (nil plan =
+	// one predicted branch): dead devices the plan rejoins re-enter the
+	// group *before* any shard is assigned — revived, handed the
+	// survivors' weight snapshot (paid as a modeled broadcast on the tier
+	// the device sits across), gradients cleared — so the rejoined replica
+	// is bitwise identical to the survivors and the trajectory never sees
+	// the membership change. The network tier's degradation state is
+	// refreshed from the plan at the same boundary.
+	var rejoined int
+	var bcastIntra, bcastInter time.Duration
+	if g.fplan != nil {
+		if len(g.deadPool) > 0 && len(g.devs) > 0 {
+			pool := g.deadPool[:0]
+			for _, d := range g.deadPool {
+				if !g.fplan.DeviceRejoins(d.id, step) {
+					pool = append(pool, d)
+					continue
+				}
+				d.Dev.Revive()
+				ref := g.devs[0]
+				var wb int64
+				for li, l := range ref.Model.Layers {
+					dst := d.Model.Layers[li]
+					copy(dst.W.Data, l.W.Data)
+					copy(dst.B, l.B)
+					wb += int64(len(l.W.Data)+len(l.B)) * 4
+				}
+				d.clearGrads()
+				crossNode := g.devsPerNode > 0 && g.nodes > 1 &&
+					d.id/g.devsPerNode != ref.id/g.devsPerNode
+				dur := g.ic.Broadcast(wb, crossNode, g.pinned)
+				if crossNode {
+					bcastInter += dur
+				} else {
+					bcastIntra += dur
+				}
+				// Re-insert in ascending id order: ids never renumber, so
+				// the rejoined device lands back in its original slot and
+				// node.
+				pos := len(g.devs)
+				for i, gd := range g.devs {
+					if gd.id > d.id {
+						pos = i
+						break
+					}
+				}
+				g.devs = append(g.devs, nil)
+				copy(g.devs[pos+1:], g.devs[pos:])
+				g.devs[pos] = d
+				rejoined++
+			}
+			g.deadPool = pool
+			if rejoined > 0 {
+				n := len(g.devs)
+				g.devLoads = g.devLoads[:n]
+				g.commBytes0 = g.commBytes0[:n]
+				g.commNs0 = g.commNs0[:n]
+				g.stall0 = g.stall0[:n]
+				g.rejoinedSum += rejoined
+			}
+		}
+		f, extra := g.fplan.LinkDegraded(step)
+		g.ic.SetLinkDegradation(f, extra)
+	}
+
 	// Dispatch with deterministic fault injection and batch-granularity
 	// failover: a device the plan kills fails its next shard at its first
 	// allocation, the dead device is dropped, and the *whole* batch
@@ -1057,6 +1206,10 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 	// loss/weight trajectory is bitwise identical to a fault-free run.
 	retries := 0
 	for {
+		g.renodeHops = -1
+		if g.devsPerNode > 0 && g.nodes > 1 && plan.Nodes == g.nodes && len(g.deadPool) > 0 {
+			g.renodeSurvivors(plan, b)
+		}
 		g.assignShards(plan)
 		for i, d := range g.devs {
 			d.err = nil
@@ -1070,6 +1223,9 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 					d.Dev.InjectStall(s)
 				}
 				if g.fplan.DeviceDies(d.id, step) {
+					d.Dev.Kill()
+				}
+				if g.devsPerNode > 0 && g.fplan.NodeDies(d.id/g.devsPerNode, step) {
 					d.Dev.Kill()
 				}
 			}
@@ -1122,7 +1278,6 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 		}
 		gradBytes += int64(len(fd.Data)+len(fb)) * 4
 	}
-	icBytes0 := g.ic.BytesMoved()
 	arIntra, arInter := g.ic.AllReduceTiers(gradBytes, len(g.devs), g.pinned)
 	arTime := arIntra + arInter
 	var lossSum float64
@@ -1144,7 +1299,8 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 	// rides the interconnect.
 	st := GroupStats{Devices: len(g.devs), Shards: g.shards, Imbalance: plan.Imbalance,
 		Nodes: plan.Nodes, NodeImbalance: plan.NodeImbalance,
-		DeadDevices: g.deadDevs, Retries: retries, Placements: g.plStats}
+		DeadDevices: g.deadDevs, Retries: retries, Placements: g.plStats,
+		Rejoined: rejoined, RejoinBcastTime: bcastIntra + bcastInter}
 	tm := gpusim.DefaultKernelTimeModel()
 	for li := range g.plStats {
 		g.plStats[li] = PlacementCount{}
@@ -1180,17 +1336,23 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 		for j := 1; j < len(plan.NodeBytes); j++ {
 			st.CrossNodeBytes += plan.NodeBytes[j]
 		}
-		netScatter = g.ic.InterScatter(st.CrossNodeBytes, plan.Nodes-1)
+		hops := plan.Nodes - 1
+		if g.renodeHops >= 0 {
+			// A whole-node loss re-noded the plan over the survivors: only
+			// the alive remote nodes draw scatter hops.
+			hops = g.renodeHops
+		}
+		netScatter = g.ic.InterScatter(st.CrossNodeBytes, hops)
 	}
 	st.ScatterTime = netScatter + devScatter
 	st.AllReduceTime = arTime
-	st.IntraNodeTime = devScatter + arIntra
-	st.InterNodeTime = netScatter + arInter
+	st.IntraNodeTime = devScatter + arIntra + bcastIntra
+	st.InterNodeTime = netScatter + arInter + bcastInter
 	// Fabric traffic beyond the per-device PCIe scatters: whatever the
-	// interconnect accrued this step (collective steps on both tiers plus
-	// the cross-node scatter payload).
+	// interconnect accrued this step (collective steps on both tiers, the
+	// cross-node scatter payload, and any rejoin weight broadcast).
 	st.CommBytes += g.ic.BytesMoved() - icBytes0
-	st.CommTime = st.ScatterTime + st.AllReduceTime
+	st.CommTime = st.ScatterTime + st.AllReduceTime + st.RejoinBcastTime
 	st.StepTimeSerial = st.MaxDeviceCompute + st.CommTime
 
 	// Overlapped schedule: this batch's scatter was issued while the
@@ -1212,7 +1374,9 @@ func (g *DeviceGroup) TrainBatch(b *prep.Batch, lr float32) (float64, error) {
 	if st.ScatterTime > 0 {
 		st.OverlapEfficiency = float64(hidden) / float64(st.ScatterTime)
 	}
-	st.StepTime = (st.ScatterTime - hidden) + st.MaxDeviceCompute + st.AllReduceTime
+	// The rejoin broadcast happens at the boundary, before the scatter can
+	// start, so it is fully exposed on the step's critical path.
+	st.StepTime = st.RejoinBcastTime + (st.ScatterTime - hidden) + st.MaxDeviceCompute + st.AllReduceTime
 	g.pendingIntraDrain, g.pendingInterDrain = arIntra, arInter
 
 	g.stats = st

@@ -312,3 +312,124 @@ func TestFailoverRacingClose(t *testing.T) {
 		t.Fatalf("served %d queries, want %d", st.Queries, n)
 	}
 }
+
+// TestReplicaRejoinServes: a replica whose device dies parks instead of
+// exiting, and a rejoin event respawns it — device revived, fresh weight
+// snapshot, original home/steal queues — after which the full fleet serves
+// again. Logits stay bitwise identical to a fault-free run throughout, and
+// the degraded window is visible in Stats.
+func TestReplicaRejoinServes(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	const n, qSize = 24, 8
+	queries := make([][]graph.VID, n)
+	for q := range queries {
+		queries[q] = ds.BatchDsts(qSize, uint64(9_700+q))
+	}
+	cfg := Config{MaxBatch: qSize, MaxDelay: 50 * time.Millisecond, Replicas: 2, Shards: 2}
+	want := queryLogits(t, tr, cfg, queries, false)
+
+	// Replica 0 dies on its first batch; RejoinProb 1 makes the next
+	// boundary after it parks revive it.
+	cfg.FaultPlan = fault.NewPlan(1, fault.Config{RejoinProb: 1}).Kill(0, 0)
+	s, err := NewServer(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	outs := make([][]float32, n)
+	tks := make([]*Ticket, n)
+	for q := range queries {
+		outs[q] = make([]float32, qSize*s.OutDim())
+		if tks[q], err = s.Submit(queries[q], outs[q]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q, tk := range tks {
+		if err := tk.Wait(); err != nil {
+			t.Fatalf("query %d failed across death+rejoin: %v", q, err)
+		}
+	}
+	for q := range queries {
+		for i, w := range want[q] {
+			if outs[q][i] != w {
+				t.Fatalf("query %d logit %d = %g, fault-free run %g — rejoin changed numerics", q, i, outs[q][i], w)
+			}
+		}
+	}
+
+	// The rejoin fires at the first served-batch boundary after the dead
+	// replica parks; keep forcing boundaries until it lands.
+	deadline := time.Now().Add(10 * time.Second)
+	extra := make([]float32, qSize*s.OutDim())
+	for s.Stats().Rejoined == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never rejoined despite RejoinProb 1")
+		}
+		if err := s.Query(ds.BatchDsts(qSize, 9_790), extra); err != nil {
+			t.Fatalf("boundary-forcing query failed: %v", err)
+		}
+	}
+	st := s.Stats()
+	if st.Rejoined != 1 {
+		t.Fatalf("Stats.Rejoined = %d, want 1", st.Rejoined)
+	}
+	if st.DeadReplicas != 0 {
+		t.Fatalf("Stats.DeadReplicas = %d after rejoin, want 0", st.DeadReplicas)
+	}
+	if st.FailedOver < 1 {
+		t.Fatalf("Stats.FailedOver = %d, want >= 1", st.FailedOver)
+	}
+	if st.TimeDegraded <= 0 {
+		t.Fatal("Stats.TimeDegraded is zero across a death+rejoin window")
+	}
+	for i, ss := range st.PerShard {
+		if ss.Batches > 0 && ss.BacklogAge <= 0 {
+			t.Errorf("shard %d served %d batches but reports no backlog age", i, ss.Batches)
+		}
+	}
+}
+
+// TestLastReplicaRejoins: the dead-completer — the last replica standing
+// after its device is lost — revives itself at the rejoin boundary. The
+// query caught while the fleet was dead fails with ErrReplicasLost; the
+// next one is served correctly by the respawned replica.
+func TestLastReplicaRejoins(t *testing.T) {
+	ds := testDS(t)
+	tr := testTrainer(t, frameworks.BaseGT, ds)
+	const qSize = 6
+	q1, q2 := ds.BatchDsts(qSize, 9_800), ds.BatchDsts(qSize, 9_801)
+	cfg := Config{MaxBatch: qSize, MaxDelay: time.Millisecond, Replicas: 1, Shards: 1}
+	want := queryLogits(t, tr, cfg, [][]graph.VID{q2}, false)
+
+	// Boundary 0 kills the only replica mid-batch; boundary 1 revives it.
+	cfg.FaultPlan = fault.Schedule().Kill(0, 0).RejoinReplica(0, 1)
+	s, err := NewServer(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	out := make([]float32, qSize*s.OutDim())
+	if err := s.Query(q1, out); !errors.Is(err, ErrReplicasLost) {
+		t.Fatalf("query during dead fleet returned %v, want ErrReplicasLost", err)
+	}
+	if err := s.Query(q2, out); err != nil {
+		t.Fatalf("query after rejoin failed: %v", err)
+	}
+	for i, w := range want[0] {
+		if out[i] != w {
+			t.Fatalf("post-rejoin logit %d = %g, fault-free run %g", i, out[i], w)
+		}
+	}
+	st := s.Stats()
+	if st.Rejoined != 1 || st.DeadReplicas != 0 {
+		t.Fatalf("Rejoined=%d DeadReplicas=%d, want 1/0", st.Rejoined, st.DeadReplicas)
+	}
+	if st.FailedOver != 1 {
+		t.Fatalf("Stats.FailedOver = %d, want 1", st.FailedOver)
+	}
+	if st.TimeDegraded <= 0 {
+		t.Fatal("Stats.TimeDegraded is zero across the dead-fleet window")
+	}
+}

@@ -39,12 +39,16 @@ type replica struct {
 	infer frameworks.InferDispatch
 
 	// attempt counts batches this replica has started — the step index the
-	// fault plan is consulted at. dead flips when this replica's device is
-	// lost *and* it was the last one alive: instead of exiting it keeps
-	// draining, completing everything with ErrReplicasLost, so admission
-	// shutdown still flows and no ticket is ever stranded.
+	// fault plan's death/stall events are consulted at. dead flips when
+	// this replica's device is lost *and* it was the last one alive:
+	// instead of exiting it keeps draining, completing everything with
+	// ErrReplicasLost, so admission shutdown still flows and no ticket is
+	// ever stranded.
 	attempt int
 	dead    bool
+	// revive carries the respawn signal to a parked replica (buffered 1;
+	// set by checkRespawns when the plan's ReplicaRejoins event fires).
+	revive chan struct{}
 }
 
 func newReplica(s *Server, id int) (*replica, error) {
@@ -54,20 +58,23 @@ func newReplica(s *Server, id int) (*replica, error) {
 	}
 	dev := gpusim.NewDevice(s.tr.Opt.Device)
 	return &replica{
-		srv:   s,
-		id:    id,
-		dev:   dev,
-		ctx:   kernels.NewCtx(dev),
-		arena: dev.NewArena(),
-		model: m,
-		pcie:  dev.PCIe(),
-		slot:  pipeline.NewSlot(),
+		srv:    s,
+		id:     id,
+		dev:    dev,
+		ctx:    kernels.NewCtx(dev),
+		arena:  dev.NewArena(),
+		model:  m,
+		pcie:   dev.PCIe(),
+		slot:   pipeline.NewSlot(),
+		revive: make(chan struct{}, 1),
 	}, nil
 }
 
 // drain serves micro-batches until admission has shut down and every queue
 // is empty — or until this replica's device dies with survivors left to
-// take over (serveBatch returning false).
+// take over (serveBatch returning false). Under a fault plan a dead
+// replica parks instead of exiting: a later rejoin event revives it and it
+// re-enters this loop against the same queues.
 func (r *replica) drain() {
 	s := r.srv
 	defer s.wg.Done()
@@ -91,9 +98,52 @@ func (r *replica) drain() {
 		default:
 		}
 		if !cont {
+			// Park strictly outside the serving bracket: a replica
+			// blocked here must not hold serving>0, or the survivors'
+			// conclusive-exit check (and Close) would wedge on it.
+			if s.cfg.FaultPlan != nil && r.park() {
+				continue
+			}
 			return
 		}
 	}
+}
+
+// park registers this replica as awaiting a rejoin event and blocks until
+// checkRespawns signals it (respawn, return true — the drain loop resumes)
+// or the server closes (return false — the drain loop exits).
+func (r *replica) park() bool {
+	s := r.srv
+	s.parkMu.Lock()
+	s.parked = append(s.parked, r)
+	s.parkedN.Add(1)
+	s.parkMu.Unlock()
+	select {
+	case <-r.revive:
+		r.respawn()
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// respawn re-admits this replica after a rejoin event: the simulated
+// device is revived under its old identity, a fresh weight snapshot is
+// installed (bitwise identical to every survivor's — the trainer never
+// trains while serving — with the same policy-pinned placements), and the
+// replica re-enters the drain loop against its original home and steal
+// queues. Runs strictly at a served-batch boundary, before the replica
+// touches any new batch.
+func (r *replica) respawn() {
+	s := r.srv
+	r.dev.Revive()
+	if m, err := s.tr.SnapshotModel(); err == nil {
+		r.model = m
+	}
+	r.dead = false
+	s.alive.Add(1)
+	s.rejoined.Add(1)
+	s.noteRecovery()
 }
 
 // next returns the next micro-batch to serve: the replica's home shard
@@ -196,6 +246,19 @@ func (r *replica) rebaton() {
 // took the batch over — the drain loop then exits.
 func (r *replica) serveBatch(mb *microBatch) bool {
 	s := r.srv
+	// Elastic membership, consulted strictly between batches: the
+	// server-wide boundary sequence is the step index replica-rejoin
+	// events fire at. A parked survivor respawns via checkRespawns; the
+	// dead-completer (last replica standing) revives itself here, before
+	// deciding this batch's fate.
+	if p := s.cfg.FaultPlan; p != nil {
+		seq := int(s.boundarySeq.Add(1)) - 1
+		if r.dead && p.ReplicaRejoins(r.id, seq) {
+			r.respawn()
+		}
+		s.checkRespawns(p, seq)
+	}
+	mb.sh.backlog.Store(int64(time.Since(mb.firstEnq)))
 	if r.dead {
 		// Last replica standing, device lost: fail the work instead of
 		// stranding it (see failover).
@@ -237,13 +300,16 @@ func (r *replica) serveBatch(mb *microBatch) bool {
 // failover handles this replica's device dying mid-batch. With survivors
 // left, the *whole* micro-batch is re-enqueued for one of them to steal —
 // batch granularity only, so composition (fixed at admission) and hence
-// every logit bit is preserved — and this replica exits, degrading the
-// server to the surviving replica set with backpressure intact. If this
-// was the last replica, it stays in its drain loop completing everything
-// with ErrReplicasLost: a dead fleet still never strands a ticket.
+// every logit bit is preserved — and this replica leaves the drain (it
+// parks awaiting a rejoin event under a fault plan, exits otherwise),
+// degrading the server to the surviving replica set with backpressure
+// intact. If this was the last replica, it stays in its drain loop
+// completing everything with ErrReplicasLost — a dead fleet still never
+// strands a ticket — until a rejoin event revives it.
 func (r *replica) failover(mb *microBatch) bool {
 	s := r.srv
 	s.failovers.Add(1)
+	s.noteDeath()
 	if s.alive.Add(-1) == 0 {
 		r.dead = true
 		s.complete(mb, time.Now(), ErrReplicasLost)

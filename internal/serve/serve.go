@@ -92,9 +92,13 @@ type Config struct {
 	Cache *cache.Cache
 	// FaultPlan, when non-nil, injects the plan's deterministic device
 	// deaths and stalls into the replicas' devices at batch boundaries
-	// (device = replica id, step = that replica's served-batch count).
-	// Nil — the production configuration — costs one predicted branch
-	// per batch.
+	// (device = replica id, step = that replica's served-batch count) and
+	// enables elastic membership: a replica whose device died parks instead
+	// of exiting, and ReplicaRejoins — consulted at a server-wide
+	// served-batch boundary sequence — respawns it (device revived under
+	// its old identity, fresh weight snapshot installed, same home and
+	// steal queues). Nil — the production configuration — costs one
+	// predicted branch per batch.
 	FaultPlan *fault.Plan
 }
 
@@ -198,6 +202,10 @@ type microBatch struct {
 	dsts    []graph.VID
 	index   map[graph.VID]int32
 	tickets []*Ticket
+	// firstEnq is the admission stamp of the batch's first ticket; the
+	// admission→serve-start age it yields is the shard's backlog signal
+	// (a requeued batch keeps its stamp, so failover retries age too).
+	firstEnq time.Time
 }
 
 // latWindow bounds the retained latency history: Stats and Latencies
@@ -225,6 +233,10 @@ type shard struct {
 	dsts    atomic.Int64
 	stolen  atomic.Int64
 	expired atomic.Int64
+	// backlog is the admission→serve-start age (nanos) of the shard's most
+	// recently started batch — the degraded-mode queue-age signal Stats
+	// surfaces as BacklogAge. One atomic store per batch, never per query.
+	backlog atomic.Int64
 	lat     *metrics.LatencyRing
 
 	// plAggr/plComb count, per model layer, how many of this shard's
@@ -288,6 +300,21 @@ type Server struct {
 	overflowMu sync.Mutex
 	overflow   []*microBatch
 	overflowN  atomic.Int64
+
+	// Elastic membership (cold path — touched only with a fault plan
+	// installed). boundarySeq numbers served-batch boundaries server-wide;
+	// it is the step index ReplicaRejoins is consulted at. parked holds
+	// replicas whose device died and who now block awaiting a rejoin event
+	// (parkedN keeps the per-batch check at one atomic load). The degraded
+	// clock accumulates wall time with at least one replica dead.
+	boundarySeq atomic.Int64
+	rejoined    atomic.Int64
+	parkedN     atomic.Int64
+	parkMu      sync.Mutex
+	parked      []*replica
+	degMu       sync.Mutex
+	degSince    time.Time
+	degradedNs  time.Duration
 
 	tickets sync.Pool
 	mbs     sync.Pool
@@ -687,6 +714,7 @@ func (s *Server) admit(sh *shard, cur *microBatch, tk *Ticket) *microBatch {
 			cur = &microBatch{index: make(map[graph.VID]int32)}
 		}
 		cur.sh = sh
+		cur.firstEnq = tk.enq
 	}
 	if s.firstEnq.Load() == 0 {
 		s.firstEnq.CompareAndSwap(0, tk.enq.UnixNano())
@@ -722,6 +750,7 @@ func (s *Server) putBatch(mb *microBatch) {
 		delete(mb.index, d)
 	}
 	mb.sh = nil
+	mb.firstEnq = time.Time{}
 	mb.dsts = mb.dsts[:0]
 	for i := range mb.tickets {
 		mb.tickets[i] = nil
@@ -812,6 +841,66 @@ func (s *Server) popOverflow() *microBatch {
 	return mb
 }
 
+// checkRespawns runs at every served-batch boundary when a fault plan is
+// installed: parked replicas whose ReplicaRejoins event fires at this
+// boundary sequence are signaled to respawn. The parkedN fast path keeps
+// the death-free case at one atomic load.
+func (s *Server) checkRespawns(p *fault.Plan, seq int) {
+	if s.parkedN.Load() == 0 {
+		return
+	}
+	s.parkMu.Lock()
+	kept := s.parked[:0]
+	for _, r := range s.parked {
+		if p.ReplicaRejoins(r.id, seq) {
+			s.parkedN.Add(-1)
+			select {
+			case r.revive <- struct{}{}:
+			default:
+			}
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(s.parked); i++ {
+		s.parked[i] = nil
+	}
+	s.parked = kept
+	s.parkMu.Unlock()
+}
+
+// noteDeath opens the degraded clock on the first replica death; nested
+// deaths keep the original window.
+func (s *Server) noteDeath() {
+	s.degMu.Lock()
+	if s.degSince.IsZero() {
+		s.degSince = time.Now()
+	}
+	s.degMu.Unlock()
+}
+
+// noteRecovery closes the degraded clock once every replica is alive again.
+func (s *Server) noteRecovery() {
+	s.degMu.Lock()
+	if !s.degSince.IsZero() && int(s.alive.Load()) == len(s.replicas) {
+		s.degradedNs += time.Since(s.degSince)
+		s.degSince = time.Time{}
+	}
+	s.degMu.Unlock()
+}
+
+// timeDegraded reports cumulative wall time with at least one replica
+// dead, including a still-open window.
+func (s *Server) timeDegraded() time.Duration {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	d := s.degradedNs
+	if !s.degSince.IsZero() {
+		d += time.Since(s.degSince)
+	}
+	return d
+}
+
 // Close stops admission (subsequent Submits fail with ErrClosed), serves
 // everything already queued, waits for the admission shards and replicas to
 // exit, and retires the preprocessing scheduler's worker set (a process
@@ -840,6 +929,10 @@ type ShardStats struct {
 	// ErrDeadlineExceeded (at submit, in the admission queue, or at
 	// completion).
 	Expired int
+	// BacklogAge is the admission→serve-start age of the shard's most
+	// recently started batch — the degraded-mode queue-age signal (it
+	// spikes while the replica set is shrunken and decays after rejoin).
+	BacklogAge time.Duration
 }
 
 // Stats is the serving engine's throughput/latency report, in the
@@ -867,6 +960,12 @@ type Stats struct {
 	Expired      int
 	FailedOver   int
 	DeadReplicas int
+	// Rejoined counts replicas respawned by the fault plan's rejoin events
+	// (device revived, fresh weight snapshot reinstalled, queues
+	// reattached); TimeDegraded is the cumulative wall time the server
+	// spent with at least one replica dead.
+	Rejoined     int
+	TimeDegraded time.Duration
 	// PerShard breaks the completed work down by admission shard.
 	PerShard []ShardStats
 	// Placements reports, per model layer, how many successfully served
@@ -895,7 +994,7 @@ func (s *Server) Stats() Stats {
 		}
 		q, b, d := sh.queries.Load(), sh.served.Load(), sh.dsts.Load()
 		ss := ShardStats{Queries: int(q), Batches: int(b), Stolen: int(sh.stolen.Load()),
-			Expired: int(sh.expired.Load())}
+			Expired: int(sh.expired.Load()), BacklogAge: time.Duration(sh.backlog.Load())}
 		if b > 0 {
 			ss.MeanBatch = float64(d) / float64(b)
 		}
@@ -908,6 +1007,8 @@ func (s *Server) Stats() Stats {
 	}
 	st.FailedOver = int(s.failovers.Load())
 	st.DeadReplicas = len(s.replicas) - int(s.alive.Load())
+	st.Rejoined = int(s.rejoined.Load())
+	st.TimeDegraded = s.timeDegraded()
 	if st.Batches > 0 {
 		st.MeanBatch = float64(dsts) / float64(st.Batches)
 	}

@@ -63,6 +63,12 @@ type EpochResult struct {
 	ValAcc    float64
 	Evaluated bool
 	Wall      time.Duration
+	// DeadDevices and Rejoined count the data-parallel group's membership
+	// events during this epoch — devices lost to fault injection and
+	// devices re-admitted by rejoin events (both 0 on single-device
+	// trainers and fault-free runs; neither affects the loss trajectory).
+	DeadDevices int
+	Rejoined    int
 }
 
 // History is the sequence of epoch results.
@@ -156,6 +162,10 @@ func (d *Driver) Run() (*History, error) {
 			nb -= rem // resumed mid-epoch: train only the tail
 		}
 		t0 := time.Now()
+		var dead0, rejoin0 int
+		if g := d.tr.Group(); g != nil {
+			dead0, rejoin0 = g.DeadDevices(), g.Rejoined()
+		}
 		loss, err := d.tr.TrainStreamHook(ring, nb, after)
 		if err != nil {
 			return nil, err
@@ -165,6 +175,10 @@ func (d *Driver) Run() (*History, error) {
 			_ = d.tr.Warmup(0) // fit from observations if DKP is enabled
 		}
 		res := EpochResult{Epoch: e, MeanLoss: loss, Wall: time.Since(t0)}
+		if g := d.tr.Group(); g != nil {
+			res.DeadDevices = g.DeadDevices() - dead0
+			res.Rejoined = g.Rejoined() - rejoin0
+		}
 		if d.valDsts != nil && d.cfg.ValEvery > 0 && e%d.cfg.ValEvery == 0 {
 			acc, err := d.validate()
 			if err != nil {
@@ -183,10 +197,14 @@ func (d *Driver) Run() (*History, error) {
 		res.Wall = time.Since(t0)
 		h.Epochs = append(h.Epochs, res)
 		if d.cfg.Verbose {
+			mem := ""
+			if res.DeadDevices > 0 || res.Rejoined > 0 {
+				mem = fmt.Sprintf("  dead %d  rejoined %d", res.DeadDevices, res.Rejoined)
+			}
 			if res.Evaluated {
-				fmt.Printf("epoch %2d  loss %.4f  val-acc %.3f  %v\n", e, res.MeanLoss, res.ValAcc, res.Wall.Round(time.Millisecond))
+				fmt.Printf("epoch %2d  loss %.4f  val-acc %.3f  %v%s\n", e, res.MeanLoss, res.ValAcc, res.Wall.Round(time.Millisecond), mem)
 			} else {
-				fmt.Printf("epoch %2d  loss %.4f  %v\n", e, res.MeanLoss, res.Wall.Round(time.Millisecond))
+				fmt.Printf("epoch %2d  loss %.4f  %v%s\n", e, res.MeanLoss, res.Wall.Round(time.Millisecond), mem)
 			}
 		}
 		if d.cfg.EarlyStopPatience > 0 && sinceImprove >= d.cfg.EarlyStopPatience {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"graphtensor/internal/datasets"
+	"graphtensor/internal/fault"
 	"graphtensor/internal/frameworks"
 )
 
@@ -143,6 +144,52 @@ func TestDriverWithoutValidation(t *testing.T) {
 	for _, e := range h.Epochs {
 		if e.Evaluated {
 			t.Error("unexpected validation without valDsts")
+		}
+	}
+}
+
+// TestDriverRejoinEventsSurfaced: the driver attributes the group's
+// membership events — fault-injected device deaths and rejoins — to the
+// epoch they happened in, and the loss trajectory is untouched by either.
+func TestDriverRejoinEventsSurfaced(t *testing.T) {
+	run := func(numDevices int, plan *fault.Plan) *History {
+		ds, err := datasets.Generate("products", datasets.TestScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := frameworks.DefaultOptions()
+		opt.BatchSize = 50
+		opt.NumDevices = numDevices
+		opt.FaultPlan = plan
+		tr, err := frameworks.New(frameworks.PreproGT, ds, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDriver(tr, Config{Epochs: 2, BatchesPerEpoch: 2, LearningRate: 0.05}, nil)
+		h, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	// Device 1 dies at batch 0 (epoch 0) and re-enters at batch 2 (epoch 1).
+	ref := run(1, nil)
+	h := run(2, fault.Schedule().Kill(1, 0).Rejoin(1, 2))
+	for e := range h.Epochs {
+		if h.Epochs[e].MeanLoss != ref.Epochs[e].MeanLoss {
+			t.Errorf("epoch %d: loss %v under death+rejoin != fault-free %v",
+				e, h.Epochs[e].MeanLoss, ref.Epochs[e].MeanLoss)
+		}
+	}
+	if got := h.Epochs[0]; got.DeadDevices != 1 || got.Rejoined != 0 {
+		t.Errorf("epoch 0 recorded dead=%d rejoined=%d, want 1/0", got.DeadDevices, got.Rejoined)
+	}
+	if got := h.Epochs[1]; got.DeadDevices != 0 || got.Rejoined != 1 {
+		t.Errorf("epoch 1 recorded dead=%d rejoined=%d, want 0/1", got.DeadDevices, got.Rejoined)
+	}
+	for e := range ref.Epochs {
+		if ref.Epochs[e].DeadDevices != 0 || ref.Epochs[e].Rejoined != 0 {
+			t.Errorf("fault-free epoch %d shows membership events", e)
 		}
 	}
 }
